@@ -1,0 +1,225 @@
+//! Points, centroid initialization and the Gaussian-mixture generator.
+
+use pic_mapreduce::ByteSize;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One data point in an n-dimensional Cartesian space (the paper's "body
+/// of points in a cartesian space of n dimensions").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Coordinates.
+    pub coords: Vec<f64>,
+}
+
+impl Point {
+    /// A point from coordinates.
+    pub fn new(coords: Vec<f64>) -> Self {
+        Point { coords }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Squared Euclidean distance to `other` (cheaper than the rooted
+    /// distance and order-preserving for nearest-centroid search).
+    #[inline]
+    pub fn dist2(&self, other: &[f64]) -> f64 {
+        debug_assert_eq!(self.coords.len(), other.len());
+        self.coords
+            .iter()
+            .zip(other)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+}
+
+impl ByteSize for Point {
+    fn byte_size(&self) -> u64 {
+        4 + 8 * self.coords.len() as u64
+    }
+}
+
+/// Sample approximately standard-normal noise via the sum of 12 uniforms
+/// (Irwin–Hall; mean 0, variance 1). Avoids an extra distribution
+/// dependency and is plenty for workload synthesis.
+pub(crate) fn normalish(rng: &mut StdRng) -> f64 {
+    (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
+}
+
+/// Generate `n` points from a mixture of `k_true` spherical Gaussians with
+/// centers uniform in `[0, extent]^dim` and standard deviation `sigma`.
+/// Deterministic per `seed`.
+pub fn gaussian_mixture(
+    n: usize,
+    k_true: usize,
+    dim: usize,
+    extent: f64,
+    sigma: f64,
+    seed: u64,
+) -> Vec<Point> {
+    assert!(k_true > 0 && dim > 0, "need positive k and dim");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..k_true)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>() * extent).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % k_true];
+            Point::new(c.iter().map(|&x| x + sigma * normalish(&mut rng)).collect())
+        })
+        .collect()
+}
+
+/// `k` random initial centroids uniform in `[0, extent]^dim` — the
+/// "arbitrary initial model (often chosen randomly)" the paper's key
+/// insight rests on.
+pub fn init_random_centroids(k: usize, dim: usize, extent: f64, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..k)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>() * extent).collect())
+        .collect()
+}
+
+/// k-means++ initialization (Arthur & Vassilvitskii 2007): the first
+/// centroid is a uniform point, each further centroid is a point sampled
+/// with probability proportional to its squared distance from the nearest
+/// centroid chosen so far. A *smart initial model* — the natural foil to
+/// PIC's claim that its best-effort phase is a cheap way to obtain one
+/// ("determining a good initial model, in general, can be as difficult as
+/// finding the solution in the first place", paper §II).
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn init_kmeanspp(points: &[Point], k: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(!points.is_empty(), "k-means++ needs data");
+    assert!(k > 0, "k must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].coords.clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| p.dist2(&centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with chosen centroids; fall back to
+            // uniform choice.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut idx = 0;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    idx = i;
+                    break;
+                }
+            }
+            idx
+        };
+        let c = points[next].coords.clone();
+        for (d, p) in d2.iter_mut().zip(points) {
+            *d = d.min(p.dist2(&c));
+        }
+        centroids.push(c);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_is_deterministic_and_sized() {
+        let a = gaussian_mixture(100, 5, 3, 100.0, 2.0, 42);
+        let b = gaussian_mixture(100, 5, 3, 100.0, 2.0, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|p| p.dim() == 3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = gaussian_mixture(10, 2, 2, 10.0, 1.0, 1);
+        let b = gaussian_mixture(10, 2, 2, 10.0, 1.0, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn points_cluster_near_centers() {
+        // With tiny sigma, same-class points should be far closer to each
+        // other than cross-class points on average.
+        let pts = gaussian_mixture(200, 2, 3, 1000.0, 0.1, 7);
+        let same = pts[0].dist2(&pts[2].coords); // both class 0
+        let cross = pts[0].dist2(&pts[1].coords); // class 0 vs 1
+        assert!(same < cross, "same {same} cross {cross}");
+    }
+
+    #[test]
+    fn dist2_basics() {
+        let p = Point::new(vec![0.0, 3.0]);
+        assert_eq!(p.dist2(&[4.0, 0.0]), 25.0);
+        assert_eq!(p.dist2(&p.coords.clone()), 0.0);
+    }
+
+    #[test]
+    fn byte_size_counts_coords() {
+        assert_eq!(Point::new(vec![0.0; 3]).byte_size(), 4 + 24);
+    }
+
+    #[test]
+    fn init_centroids_in_range() {
+        let c = init_random_centroids(10, 4, 50.0, 3);
+        assert_eq!(c.len(), 10);
+        for cc in &c {
+            assert_eq!(cc.len(), 4);
+            assert!(cc.iter().all(|&x| (0.0..=50.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn kmeanspp_picks_k_distinct_data_points() {
+        let pts = gaussian_mixture(500, 8, 3, 100.0, 1.0, 17);
+        let c = init_kmeanspp(&pts, 8, 3);
+        assert_eq!(c.len(), 8);
+        // Every centroid is an actual data point.
+        for cc in &c {
+            assert!(pts.iter().any(|p| p.coords == *cc));
+        }
+        // And they are pairwise distinct (well-separated data).
+        for i in 0..8 {
+            for j in 0..i {
+                assert_ne!(c[i], c[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeanspp_spreads_better_than_random_init() {
+        use crate::kmeans::{sse, Centroids};
+        let pts = gaussian_mixture(2_000, 10, 3, 1000.0, 5.0, 23);
+        let pp = Centroids::new(init_kmeanspp(&pts, 10, 3));
+        let rand_init = Centroids::new(init_random_centroids(10, 3, 1000.0, 3));
+        assert!(sse(&pts, &pp) < sse(&pts, &rand_init));
+    }
+
+    #[test]
+    fn kmeanspp_handles_degenerate_duplicate_data() {
+        let pts = vec![Point::new(vec![1.0, 1.0]); 20];
+        let c = init_kmeanspp(&pts, 3, 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn normalish_has_sane_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normalish(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

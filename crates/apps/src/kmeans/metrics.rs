@@ -1,0 +1,132 @@
+//! Clustering quality metrics used in the paper's §VI.
+
+use super::data::Point;
+use super::mr::Centroids;
+
+/// The Jagota index the paper uses to compare BE-phase and IC models
+/// (its eq. in §VI.A): `Q = Σ_i (1/|C_i|) Σ_{x∈C_i} d(x, μ_i)` — mean
+/// point-to-centroid distance summed over clusters. Lower is tighter;
+/// the paper reports PIC's BE phase within 3% of IC.
+pub fn jagota_index(points: &[Point], model: &Centroids) -> f64 {
+    let k = model.k();
+    let mut dist_sum = vec![0.0; k];
+    let mut counts = vec![0u64; k];
+    for p in points {
+        let c = model.nearest(p);
+        dist_sum[c] += p.dist2(&model.coords[c]).sqrt();
+        counts[c] += 1;
+    }
+    dist_sum
+        .iter()
+        .zip(&counts)
+        .filter(|(_, &n)| n > 0)
+        .map(|(&s, &n)| s / n as f64)
+        .sum()
+}
+
+/// Sum of squared errors (within-cluster): the classic K-means objective.
+pub fn sse(points: &[Point], model: &Centroids) -> f64 {
+    points
+        .iter()
+        .map(|p| p.dist2(&model.coords[model.nearest(p)]))
+        .sum()
+}
+
+/// Mean distance from each centroid of `model` to its nearest centroid in
+/// `reference` — the "distance to a reference solution" error metric of
+/// Fig. 12(b). Nearest-matching keeps the metric permutation-invariant.
+pub fn centroid_displacement(model: &Centroids, reference: &Centroids) -> f64 {
+    assert!(!reference.coords.is_empty(), "empty reference");
+    let total: f64 = model
+        .coords
+        .iter()
+        .map(|c| {
+            reference
+                .coords
+                .iter()
+                .map(|r| c.iter().zip(r).map(|(a, b)| (a - b) * (a - b)).sum::<f64>())
+                .fold(f64::INFINITY, f64::min)
+                .sqrt()
+        })
+        .sum();
+    total / model.k() as f64
+}
+
+/// Greedy one-to-one matching of `a`'s centroids onto `b`'s by distance;
+/// returns for each centroid of `a` the index of its match in `b`. Used by
+/// merge strategies that must "establish the correspondence of elements in
+/// the two models" (paper §III.C).
+pub fn match_centroids(a: &Centroids, b: &Centroids) -> Vec<usize> {
+    let k = a.k();
+    assert_eq!(k, b.k(), "model size mismatch");
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(k * k);
+    for (i, ca) in a.coords.iter().enumerate() {
+        for (j, cb) in b.coords.iter().enumerate() {
+            let d: f64 = ca.iter().zip(cb).map(|(x, y)| (x - y) * (x - y)).sum();
+            pairs.push((d, i, j));
+        }
+    }
+    pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("distances are never NaN"));
+    let mut out = vec![usize::MAX; k];
+    let mut used = vec![false; k];
+    for (_, i, j) in pairs {
+        if out[i] == usize::MAX && !used[j] {
+            out[i] = j;
+            used[j] = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(raw: &[[f64; 1]]) -> Vec<Point> {
+        raw.iter().map(|c| Point::new(c.to_vec())).collect()
+    }
+
+    #[test]
+    fn jagota_tight_beats_loose() {
+        let points = pts(&[[0.0], [1.0], [10.0], [11.0]]);
+        let tight = Centroids::new(vec![vec![0.5], vec![10.5]]);
+        let loose = Centroids::new(vec![vec![3.0], vec![8.0]]);
+        assert!(jagota_index(&points, &tight) < jagota_index(&points, &loose));
+    }
+
+    #[test]
+    fn jagota_perfect_model_is_zero() {
+        let points = pts(&[[2.0], [8.0]]);
+        let m = Centroids::new(vec![vec![2.0], vec![8.0]]);
+        assert_eq!(jagota_index(&points, &m), 0.0);
+    }
+
+    #[test]
+    fn sse_decreases_after_lloyd_step() {
+        let points = pts(&[[0.0], [2.0], [10.0], [12.0]]);
+        let m0 = Centroids::new(vec![vec![3.0], vec![9.0]]);
+        let m1 = super::super::mr::lloyd_step(&points, &m0);
+        assert!(sse(&points, &m1) <= sse(&points, &m0));
+    }
+
+    #[test]
+    fn displacement_zero_for_identical() {
+        let m = Centroids::new(vec![vec![1.0], vec![5.0]]);
+        assert_eq!(centroid_displacement(&m, &m), 0.0);
+    }
+
+    #[test]
+    fn displacement_is_permutation_invariant() {
+        let a = Centroids::new(vec![vec![1.0], vec![5.0]]);
+        let b = Centroids::new(vec![vec![5.0], vec![1.0]]);
+        assert_eq!(centroid_displacement(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn match_centroids_is_a_bijection() {
+        let a = Centroids::new(vec![vec![0.0], vec![10.0], vec![20.0]]);
+        let b = Centroids::new(vec![vec![19.0], vec![1.0], vec![9.0]]);
+        let m = match_centroids(&a, &b);
+        assert_eq!(m, vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,267 @@
+//! The K-means model and its MapReduce step (paper Fig. 1(b)).
+
+use super::data::Point;
+use pic_mapreduce::{ByteSize, Combiner, MapContext, Mapper, ReduceContext, Reducer};
+
+/// The K-means model: `k` centroids plus the point count last assigned to
+/// each (counts ride along so the weighted-merge ablation has them; the
+/// paper's model is the centroid set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Centroids {
+    /// Centroid coordinates, `k × dim`.
+    pub coords: Vec<Vec<f64>>,
+    /// Points assigned to each centroid in the iteration that produced it
+    /// (zero for a freshly initialized model).
+    pub counts: Vec<u64>,
+}
+
+impl Centroids {
+    /// A model from raw centroid coordinates with zeroed counts.
+    pub fn new(coords: Vec<Vec<f64>>) -> Self {
+        let k = coords.len();
+        Centroids {
+            coords,
+            counts: vec![0; k],
+        }
+    }
+
+    /// Number of centroids.
+    pub fn k(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Index of the centroid nearest to `p`.
+    ///
+    /// # Panics
+    /// Panics if the model has no centroids.
+    #[inline]
+    pub fn nearest(&self, p: &Point) -> usize {
+        assert!(!self.coords.is_empty(), "model has no centroids");
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in self.coords.iter().enumerate() {
+            let d = p.dist2(c);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Largest per-centroid displacement between two models — the paper's
+    /// convergence quantity.
+    pub fn max_displacement(&self, other: &Centroids) -> f64 {
+        assert_eq!(self.k(), other.k(), "model size mismatch");
+        self.coords
+            .iter()
+            .zip(&other.coords)
+            .map(|(a, b)| {
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl ByteSize for Centroids {
+    fn byte_size(&self) -> u64 {
+        // k centroids of dim doubles + k counts.
+        4 + self
+            .coords
+            .iter()
+            .map(|c| 4 + 8 * c.len() as u64)
+            .sum::<u64>()
+            + 8 * self.counts.len() as u64
+    }
+}
+
+/// Partial aggregate shuffled from map to reduce: coordinate sums plus a
+/// count (the classic K-means combiner-friendly value).
+pub type PartialSum = (Vec<f64>, u64);
+
+/// Mapper: assign each point to its nearest centroid, emit
+/// `(cluster, (coords, 1))` — Fig. 1(b)'s
+/// `emit(closest_centroid(d_i, m), d_i)` in pre-aggregated form.
+pub struct AssignMapper<'a> {
+    /// Current model.
+    pub model: &'a Centroids,
+}
+
+impl Mapper for AssignMapper<'_> {
+    type In = Point;
+    type K = u64;
+    type V = PartialSum;
+
+    fn map(&self, p: &Point, ctx: &mut MapContext<u64, PartialSum>) {
+        let c = self.model.nearest(p);
+        ctx.emit(c as u64, (p.coords.clone(), 1));
+    }
+}
+
+/// Combiner: sum coordinate vectors and counts per cluster within one map
+/// task (the "well-known optimization" the paper grants the baseline).
+pub struct SumCombiner;
+
+impl Combiner for SumCombiner {
+    type K = u64;
+    type V = PartialSum;
+
+    fn combine(&self, _k: &u64, values: &mut Vec<PartialSum>) {
+        if values.len() <= 1 {
+            return;
+        }
+        let dim = values[0].0.len();
+        let mut sum = vec![0.0; dim];
+        let mut count = 0u64;
+        for (v, c) in values.iter() {
+            for (s, x) in sum.iter_mut().zip(v) {
+                *s += x;
+            }
+            count += c;
+        }
+        values.clear();
+        values.push((sum, count));
+    }
+}
+
+/// Reducer: average the summed coordinates into the new centroid —
+/// Fig. 1(b)'s `reduce(centroid, points) -> updated centroid`.
+pub struct AverageReducer;
+
+impl Reducer for AverageReducer {
+    type K = u64;
+    type V = PartialSum;
+    type Out = (u64, Vec<f64>, u64);
+
+    fn reduce(
+        &self,
+        key: &u64,
+        values: &[PartialSum],
+        ctx: &mut ReduceContext<(u64, Vec<f64>, u64)>,
+    ) {
+        let dim = values[0].0.len();
+        let mut sum = vec![0.0; dim];
+        let mut count = 0u64;
+        for (v, c) in values {
+            for (s, x) in sum.iter_mut().zip(v) {
+                *s += x;
+            }
+            count += c;
+        }
+        if count > 0 {
+            for s in &mut sum {
+                *s /= count as f64;
+            }
+        }
+        ctx.emit((*key, sum, count));
+    }
+}
+
+/// One sequential Lloyd iteration over `points`: returns the refined
+/// model. Clusters that attract no points keep their previous centroid
+/// (standard practice; keeps `k` stable). This is the kernel
+/// [`super::KMeansApp`]'s `solve_local` runs for PIC's local iterations —
+/// numerically identical to one MapReduce iteration.
+pub fn lloyd_step(points: &[Point], model: &Centroids) -> Centroids {
+    let k = model.k();
+    let dim = model.coords.first().map_or(0, Vec::len);
+    let mut sums = vec![vec![0.0; dim]; k];
+    let mut counts = vec![0u64; k];
+    for p in points {
+        let c = model.nearest(p);
+        for (s, x) in sums[c].iter_mut().zip(&p.coords) {
+            *s += x;
+        }
+        counts[c] += 1;
+    }
+    let coords = sums
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut s)| {
+            if counts[i] == 0 {
+                model.coords[i].clone()
+            } else {
+                for x in &mut s {
+                    *x /= counts[i] as f64;
+                }
+                s
+            }
+        })
+        .collect();
+    Centroids { coords, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(raw: &[[f64; 2]]) -> Vec<Point> {
+        raw.iter().map(|c| Point::new(c.to_vec())).collect()
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        let m = Centroids::new(vec![vec![0.0, 0.0], vec![10.0, 10.0]]);
+        assert_eq!(m.nearest(&Point::new(vec![1.0, 1.0])), 0);
+        assert_eq!(m.nearest(&Point::new(vec![9.0, 9.0])), 1);
+    }
+
+    #[test]
+    fn lloyd_step_two_obvious_clusters() {
+        let points = pts(&[[0.0, 0.0], [0.0, 2.0], [10.0, 10.0], [10.0, 12.0]]);
+        let m0 = Centroids::new(vec![vec![1.0, 1.0], vec![9.0, 9.0]]);
+        let m1 = lloyd_step(&points, &m0);
+        assert_eq!(m1.coords[0], vec![0.0, 1.0]);
+        assert_eq!(m1.coords[1], vec![10.0, 11.0]);
+        assert_eq!(m1.counts, vec![2, 2]);
+    }
+
+    #[test]
+    fn lloyd_keeps_empty_clusters() {
+        let points = pts(&[[0.0, 0.0]]);
+        let m0 = Centroids::new(vec![vec![0.0, 0.0], vec![100.0, 100.0]]);
+        let m1 = lloyd_step(&points, &m0);
+        assert_eq!(m1.coords[1], vec![100.0, 100.0], "empty cluster unchanged");
+        assert_eq!(m1.counts[1], 0);
+    }
+
+    #[test]
+    fn max_displacement_symmetric() {
+        let a = Centroids::new(vec![vec![0.0], vec![1.0]]);
+        let b = Centroids::new(vec![vec![3.0], vec![1.0]]);
+        assert_eq!(a.max_displacement(&b), 3.0);
+        assert_eq!(b.max_displacement(&a), 3.0);
+    }
+
+    #[test]
+    fn combiner_sums() {
+        let c = SumCombiner;
+        let mut vals = vec![
+            (vec![1.0, 2.0], 1),
+            (vec![3.0, 4.0], 1),
+            (vec![5.0, 6.0], 2),
+        ];
+        c.combine(&0, &mut vals);
+        assert_eq!(vals, vec![(vec![9.0, 12.0], 4)]);
+    }
+
+    #[test]
+    fn reducer_averages() {
+        let r = AverageReducer;
+        let mut ctx = ReduceContext::new();
+        r.reduce(&3, &[(vec![2.0, 4.0], 2), (vec![4.0, 0.0], 2)], &mut ctx);
+        let (out, _) = ctx.into_parts();
+        assert_eq!(out, vec![(3, vec![1.5, 1.0], 4)]);
+    }
+
+    #[test]
+    fn model_byte_size() {
+        let m = Centroids::new(vec![vec![0.0; 3]; 100]);
+        // 4 + 100*(4+24) + 100*8 = 4 + 2800 + 800
+        assert_eq!(m.byte_size(), 3604);
+    }
+}

@@ -1,0 +1,183 @@
+//! Linear systems and the weakly-diagonally-dominant generator.
+
+use pic_mapreduce::ByteSize;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One row of `A x = b`: the record type of the Jacobi job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Row index.
+    pub i: u32,
+    /// Dense coefficients `a_i·`.
+    pub a: Vec<f64>,
+    /// Right-hand side `b_i`.
+    pub b: f64,
+}
+
+impl ByteSize for Row {
+    fn byte_size(&self) -> u64 {
+        4 + 4 + 8 * self.a.len() as u64 + 8
+    }
+}
+
+/// A dense linear system with its known exact solution (for error
+/// metrics: "for the system of linear equations, there exists a unique
+/// golden solution", paper §VI.A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinSystem {
+    /// Rows of `A` and `b`.
+    pub rows: Vec<Row>,
+    /// The golden solution `x*` the system was constructed from.
+    pub exact: Vec<f64>,
+}
+
+impl LinSystem {
+    /// Number of unknowns.
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// One synchronous Jacobi sweep from `x`.
+    pub fn jacobi_sweep(&self, x: &[f64]) -> Vec<f64> {
+        self.rows.iter().map(|row| jacobi_row(row, x)).collect()
+    }
+
+    /// L2 distance of `x` to the golden solution.
+    pub fn error(&self, x: &[f64]) -> f64 {
+        pic_core::convergence::l2_distance(x, &self.exact)
+    }
+}
+
+/// The Jacobi update of one row: `(b_i − Σ_{j≠i} a_ij x_j) / a_ii`.
+#[inline]
+pub fn jacobi_row(row: &Row, x: &[f64]) -> f64 {
+    let i = row.i as usize;
+    let mut acc = row.b;
+    for (j, (&a, &xj)) in row.a.iter().zip(x).enumerate() {
+        if j != i {
+            acc -= a * xj;
+        }
+    }
+    acc / row.a[i]
+}
+
+/// Generate an `n × n` weakly diagonally dominant system with a known
+/// solution: off-diagonals are uniform in `(0, 1]` (all positive, so the
+/// Jacobi iteration matrix's spectral radius actually sits near the
+/// dominance bound `1/(1+margin)` — with mixed signs random cancellation
+/// makes convergence unrealistically fast, and the paper's "weakly"
+/// dominant system converges slowly); the diagonal is the row's absolute
+/// off-diagonal sum times `(1 + margin)`; `x*` is uniform in `[-1, 1]`,
+/// and `b = A x*`.
+pub fn diag_dominant_system(n: usize, margin: f64, seed: u64) -> LinSystem {
+    assert!(n > 0, "need at least one unknown");
+    assert!(margin > 0.0, "margin must be positive for dominance");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.gen::<f64>().max(1e-3)).collect())
+        .collect();
+    for (i, row) in a.iter_mut().enumerate() {
+        let off: f64 = row
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, v)| v.abs())
+            .sum();
+        row[i] = (off.max(1e-9)) * (1.0 + margin);
+    }
+    let exact: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+    let rows = a
+        .into_iter()
+        .enumerate()
+        .map(|(i, coeffs)| {
+            let b = coeffs.iter().zip(&exact).map(|(c, x)| c * x).sum();
+            Row {
+                i: i as u32,
+                a: coeffs,
+                b,
+            }
+        })
+        .collect();
+    LinSystem { rows, exact }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_produces_dominant_rows() {
+        let sys = diag_dominant_system(50, 0.2, 3);
+        for row in &sys.rows {
+            let i = row.i as usize;
+            let off: f64 = row
+                .a
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
+            assert!(row.a[i] > off, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn b_is_consistent_with_exact() {
+        let sys = diag_dominant_system(20, 0.3, 1);
+        for row in &sys.rows {
+            let ax: f64 = row.a.iter().zip(&sys.exact).map(|(a, x)| a * x).sum();
+            assert!((ax - row.b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jacobi_converges_to_exact() {
+        let sys = diag_dominant_system(40, 0.3, 7);
+        let mut x = vec![0.0; 40];
+        for _ in 0..200 {
+            x = sys.jacobi_sweep(&x);
+        }
+        assert!(sys.error(&x) < 1e-8, "error {}", sys.error(&x));
+    }
+
+    #[test]
+    fn jacobi_error_contracts_monotonically() {
+        let sys = diag_dominant_system(30, 0.5, 9);
+        let mut x = vec![0.0; 30];
+        let mut prev = sys.error(&x);
+        for _ in 0..20 {
+            x = sys.jacobi_sweep(&x);
+            let e = sys.error(&x);
+            assert!(e <= prev + 1e-12, "{e} > {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn exact_solution_is_fixed_point() {
+        let sys = diag_dominant_system(25, 0.4, 11);
+        let next = sys.jacobi_sweep(&sys.exact);
+        for (a, b) in next.iter().zip(&sys.exact) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(
+            diag_dominant_system(10, 0.2, 5),
+            diag_dominant_system(10, 0.2, 5)
+        );
+    }
+
+    #[test]
+    fn row_byte_size() {
+        let r = Row {
+            i: 0,
+            a: vec![0.0; 100],
+            b: 0.0,
+        };
+        assert_eq!(r.byte_size(), 4 + 4 + 800 + 8);
+    }
+}

@@ -1,0 +1,30 @@
+//! PageRank (paper Fig. 7 for IC, Fig. 8 for PIC), after the Nutch 1.1
+//! implementation the paper ports.
+//!
+//! Every iteration has two phases:
+//!
+//! * **aggregation** — `PageRank_i = (1 − c) + c · Σ_j edge_ji` over the
+//!   scores of vertex `i`'s incoming edges: a full MapReduce job whose
+//!   shuffle carries one record per edge (the heavy traffic);
+//! * **propagation** — `edge_ji = PageRank_j / outdeg(j)`: a map-only job.
+//!
+//! Following the paper, the *model* is the vertex PageRanks **plus the
+//! edge scores** ("we consider the set of edge scores as part of the
+//! model"), which is what makes this the large-model case. Termination is
+//! Nutch's: a fixed number of iterations (10), not a quality threshold.
+//!
+//! The PIC realization partitions vertices into disjoint groups
+//! (randomly, as in the paper's evaluation; block- and BFS-based
+//! partitioners are provided for the ablation). Local iterations run
+//! PageRank on each sub-graph's internal edges only; the `merge` function
+//! then scores every cross-partition edge from the merged ranks and adds
+//! its contribution to the destination vertex — "the only mechanism we
+//! have used to factor in the dependencies between the sub-problems".
+
+mod app;
+mod graph;
+mod mr;
+
+pub use app::{PageRankApp, PartitionMode};
+pub use graph::{block_local_graph, VertexRec, WebGraph};
+pub use mr::PrModel;

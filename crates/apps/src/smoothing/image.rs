@@ -1,0 +1,170 @@
+//! Grayscale images, rows and the noisy-image generator.
+
+use crate::kmeans::data::normalish;
+use pic_mapreduce::ByteSize;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A grayscale image in row-major `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    /// Width in pixels.
+    pub w: usize,
+    /// Height in pixels.
+    pub h: usize,
+    /// Row-major pixel values.
+    pub pix: Vec<f64>,
+}
+
+impl Image {
+    /// An image of `w × h` filled with `v`.
+    pub fn filled(w: usize, h: usize, v: f64) -> Self {
+        assert!(w > 0 && h > 0, "image must be non-empty");
+        Image {
+            w,
+            h,
+            pix: vec![v; w * h],
+        }
+    }
+
+    /// Pixel at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        self.pix[y * self.w + x]
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[f64] {
+        &self.pix[y * self.w..(y + 1) * self.w]
+    }
+
+    /// Largest absolute pixel difference to `other`.
+    pub fn max_diff(&self, other: &Image) -> f64 {
+        assert_eq!((self.w, self.h), (other.w, other.h), "shape mismatch");
+        self.pix
+            .iter()
+            .zip(&other.pix)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Root-mean-square pixel difference to `other`.
+    pub fn rms_diff(&self, other: &Image) -> f64 {
+        assert_eq!((self.w, self.h), (other.w, other.h), "shape mismatch");
+        let ss: f64 = self
+            .pix
+            .iter()
+            .zip(&other.pix)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        (ss / self.pix.len() as f64).sqrt()
+    }
+
+    /// The image as one dataset record per (full-width) row.
+    pub fn rows(&self) -> Vec<PixelRow> {
+        (0..self.h)
+            .map(|y| PixelRow {
+                y: y as u32,
+                x0: 0,
+                pix: self.row(y).to_vec(),
+            })
+            .collect()
+    }
+}
+
+impl ByteSize for Image {
+    fn byte_size(&self) -> u64 {
+        8 + 8 + 4 + 8 * self.pix.len() as u64
+    }
+}
+
+/// One pixel row (or row segment) — the record type of the stencil job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PixelRow {
+    /// Row index.
+    pub y: u32,
+    /// Column of the first pixel (0 for full rows; grid tiles carry row
+    /// segments).
+    pub x0: u32,
+    /// Pixel values of the row (segment).
+    pub pix: Vec<f64>,
+}
+
+impl ByteSize for PixelRow {
+    fn byte_size(&self) -> u64 {
+        4 + 4 + 4 + 8 * self.pix.len() as u64
+    }
+}
+
+/// Generate a noisy test image: a smooth radial gradient plus blocky
+/// structure plus Gaussian pixel noise — enough structure that smoothing
+/// is visible, enough noise that it matters. Deterministic per `seed`.
+pub fn noisy_image(w: usize, h: usize, noise: f64, seed: u64) -> Image {
+    assert!(w > 1 && h > 1, "stencil needs at least 2×2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cx = w as f64 / 2.0;
+    let cy = h as f64 / 2.0;
+    let rmax = (cx * cx + cy * cy).sqrt();
+    let pix = (0..w * h)
+        .map(|i| {
+            let x = (i % w) as f64;
+            let y = (i / w) as f64;
+            let r = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt() / rmax;
+            let blocks = if ((x as usize / 8) + (y as usize / 8)) % 2 == 0 {
+                0.15
+            } else {
+                -0.15
+            };
+            (0.5 + 0.4 * (1.0 - r) + blocks + noise * normalish(&mut rng)).clamp(0.0, 1.0)
+        })
+        .collect();
+    Image { w, h, pix }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_and_bounded() {
+        let a = noisy_image(32, 24, 0.05, 9);
+        let b = noisy_image(32, 24, 0.05, 9);
+        assert_eq!(a, b);
+        assert!(a.pix.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(a.pix.len(), 32 * 24);
+    }
+
+    #[test]
+    fn rows_roundtrip() {
+        let img = noisy_image(16, 8, 0.0, 1);
+        let rows = img.rows();
+        assert_eq!(rows.len(), 8);
+        for (y, r) in rows.iter().enumerate() {
+            assert_eq!(r.y as usize, y);
+            assert_eq!(r.pix, img.row(y));
+        }
+    }
+
+    #[test]
+    fn diffs() {
+        let a = Image::filled(4, 4, 0.5);
+        let mut b = a.clone();
+        b.pix[5] = 0.9;
+        assert!((a.max_diff(&b) - 0.4).abs() < 1e-12);
+        assert!(a.rms_diff(&b) > 0.0 && a.rms_diff(&b) < 0.4);
+        assert_eq!(a.max_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        let img = Image::filled(10, 5, 0.0);
+        assert_eq!(img.byte_size(), 8 + 8 + 4 + 400);
+        let row = PixelRow {
+            y: 0,
+            x0: 0,
+            pix: vec![0.0; 10],
+        };
+        assert_eq!(row.byte_size(), 4 + 4 + 4 + 80);
+    }
+}

@@ -1,0 +1,25 @@
+//! Iterative image smoothing (the paper's fifth case study: "a large 40
+//! megapixel image was used as the dataset for the image smoother").
+//!
+//! The iteration is a damped Jacobi sweep of the screened-Poisson
+//! smoother: `u' = u + λ·Δu + μ·(f − u)` with Neumann-style boundary
+//! handling, where `f` is the noisy input image and `u` the current
+//! estimate. The fidelity term `μ` makes the fixed point unique (the
+//! "golden" smoothed image), so convergence and error are well defined.
+//!
+//! * **IC realization**: one map-only MapReduce job per sweep — the
+//!   stencil mapper processes one pixel row per record, reading its
+//!   neighbour rows from the model. Note the model here is *the image
+//!   itself*: this is the paper's extreme large-model workload, where
+//!   per-iteration model updates dominate cluster traffic.
+//! * **PIC realization**: `partition` cuts the image into horizontal
+//!   tile strips (the stencil's dependencies are local, paper §VI.B:
+//!   "the image smoothing algorithm is stencil based and clearly the
+//!   dependencies are local"); local iterations smooth a strip with its
+//!   halo rows frozen; `merge` stitches the strips back together.
+
+mod app;
+mod image;
+
+pub use app::SmoothingApp;
+pub use image::{noisy_image, Image, PixelRow};

@@ -1,0 +1,228 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! partition count, partitioner choice, combiner on/off, merge strategy,
+//! and the local-iteration cap.
+//!
+//! These report *simulated* time via the returned value (criterion
+//! measures host time of the whole experiment; the interesting simulated
+//! numbers are printed by `repro`), and exist to keep the ablation paths
+//! exercised and regression-tracked.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pic_apps::kmeans::{
+    gaussian_mixture, init_random_centroids, Centroids, KMeansApp, MergeStrategy,
+};
+use pic_apps::pagerank::{block_local_graph, PageRankApp, PartitionMode};
+use pic_core::prelude::*;
+use pic_mapreduce::{Dataset, Engine, Timing};
+use pic_simnet::ClusterSpec;
+
+fn kmeans_timing() -> Timing {
+    Timing::PerRecord {
+        map_secs: 2e-4,
+        reduce_secs: 5e-5,
+    }
+}
+
+/// Sub-problem count: more partitions shrink local work but can add
+/// best-effort iterations (paper §III.B).
+fn bench_partition_count(c: &mut Criterion) {
+    let n = 20_000;
+    let k = 50;
+    let pts = gaussian_mixture(n, k, 3, 1000.0, 8.0, 7);
+    let init = Centroids::new(init_random_centroids(k, 3, 1000.0, 3));
+    let app = KMeansApp::new(k, 3, 1e-3);
+
+    let mut g = c.benchmark_group("ablation_partition_count");
+    g.sample_size(10);
+    for parts in [4usize, 12, 24] {
+        g.bench_with_input(BenchmarkId::from_parameter(parts), &parts, |b, &parts| {
+            b.iter(|| {
+                let engine = Engine::new(ClusterSpec::small());
+                let data = Dataset::create(&engine, "/a/pc", pts.clone(), 24);
+                let r = run_pic(
+                    &engine,
+                    &app,
+                    &data,
+                    init.clone(),
+                    &PicOptions {
+                        partitions: parts,
+                        timing: kmeans_timing(),
+                        local_secs_per_record: Some(0.6e-6),
+                        ..Default::default()
+                    },
+                );
+                (r.be_iterations, r.topoff_iterations)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Random vs block vs BFS partitioning for PageRank (the METIS argument
+/// of paper §VI.B).
+fn bench_partitioner_choice(c: &mut Criterion) {
+    let graph = block_local_graph(10_000, 8, 2, 6, 0.9, 5);
+    let mut g = c.benchmark_group("ablation_partitioner");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("random", PartitionMode::Random),
+        ("block", PartitionMode::Block),
+        ("bfs", PartitionMode::Bfs),
+    ] {
+        g.bench_function(name, |b| {
+            let app = PageRankApp::new(graph.clone(), 8, mode, 1);
+            b.iter(|| {
+                let engine = Engine::new(ClusterSpec::small());
+                let data = Dataset::create(&engine, "/a/pm", graph.records(), 24);
+                let r = run_pic(
+                    &engine,
+                    &app,
+                    &data,
+                    app.initial_model(),
+                    &PicOptions {
+                        partitions: 8,
+                        timing: Timing::PerRecord {
+                            map_secs: 1e-3,
+                            reduce_secs: 5e-5,
+                        },
+                        local_secs_per_record: Some(1e-6),
+                        ..Default::default()
+                    },
+                );
+                r.total_time_s
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Combiner on/off for the IC K-means baseline: quantifies how much of
+/// the paper's gap survives the optimization it grants the baseline.
+fn bench_combiner(c: &mut Criterion) {
+    use pic_apps::kmeans::Point;
+    use pic_mapreduce::{MapContext, Mapper, ReduceContext, Reducer};
+
+    struct RawMapper<'a> {
+        model: &'a Centroids,
+    }
+    impl Mapper for RawMapper<'_> {
+        type In = Point;
+        type K = u64;
+        type V = (Vec<f64>, u64);
+        fn map(&self, p: &Point, ctx: &mut MapContext<u64, (Vec<f64>, u64)>) {
+            ctx.emit(self.model.nearest(p) as u64, (p.coords.clone(), 1));
+        }
+    }
+    struct AvgReducer;
+    impl Reducer for AvgReducer {
+        type K = u64;
+        type V = (Vec<f64>, u64);
+        type Out = (u64, Vec<f64>);
+        fn reduce(
+            &self,
+            k: &u64,
+            vs: &[(Vec<f64>, u64)],
+            ctx: &mut ReduceContext<(u64, Vec<f64>)>,
+        ) {
+            let dim = vs[0].0.len();
+            let mut sum = vec![0.0; dim];
+            let mut n = 0;
+            for (v, c) in vs {
+                for (s, x) in sum.iter_mut().zip(v) {
+                    *s += x;
+                }
+                n += c;
+            }
+            for s in &mut sum {
+                *s /= n.max(1) as f64;
+            }
+            ctx.emit((*k, sum));
+        }
+    }
+
+    let pts = gaussian_mixture(20_000, 50, 3, 1000.0, 8.0, 7);
+    let model = Centroids::new(init_random_centroids(50, 3, 1000.0, 3));
+    let engine = Engine::new(ClusterSpec::small());
+    let data = Dataset::create(&engine, "/a/comb", pts, 24);
+
+    let mut g = c.benchmark_group("ablation_combiner");
+    g.sample_size(10);
+    g.bench_function("with_combiner", |b| {
+        b.iter(|| {
+            engine
+                .run_with_combiner(
+                    &pic_mapreduce::JobConfig::new("w")
+                        .timing(kmeans_timing())
+                        .reducers(6),
+                    &data,
+                    &RawMapper { model: &model },
+                    &pic_apps::kmeans::SumCombiner,
+                    &AvgReducer,
+                )
+                .stats
+                .shuffle_bytes
+        });
+    });
+    g.bench_function("without_combiner", |b| {
+        b.iter(|| {
+            engine
+                .run(
+                    &pic_mapreduce::JobConfig::new("wo")
+                        .timing(kmeans_timing())
+                        .reducers(6),
+                    &data,
+                    &RawMapper { model: &model },
+                    &AvgReducer,
+                )
+                .stats
+                .shuffle_bytes
+        });
+    });
+    g.finish();
+}
+
+/// Plain vs count-weighted centroid averaging in the merge step.
+fn bench_merge_strategy(c: &mut Criterion) {
+    let n = 20_000;
+    let k = 50;
+    let pts = gaussian_mixture(n, k, 3, 1000.0, 8.0, 9);
+    let init = Centroids::new(init_random_centroids(k, 3, 1000.0, 4));
+
+    let mut g = c.benchmark_group("ablation_merge");
+    g.sample_size(10);
+    for (name, strategy) in [
+        ("average", MergeStrategy::Average),
+        ("weighted", MergeStrategy::WeightedAverage),
+    ] {
+        g.bench_function(name, |b| {
+            let app = KMeansApp::new(k, 3, 1e-3).with_merge(strategy);
+            b.iter(|| {
+                let engine = Engine::new(ClusterSpec::small());
+                let data = Dataset::create(&engine, "/a/ms", pts.clone(), 24);
+                let r = run_pic(
+                    &engine,
+                    &app,
+                    &data,
+                    init.clone(),
+                    &PicOptions {
+                        partitions: 12,
+                        timing: kmeans_timing(),
+                        local_secs_per_record: Some(0.6e-6),
+                        ..Default::default()
+                    },
+                );
+                (r.be_iterations, r.topoff_iterations)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partition_count,
+    bench_partitioner_choice,
+    bench_combiner,
+    bench_merge_strategy
+);
+criterion_main!(benches);

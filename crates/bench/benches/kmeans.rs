@@ -1,0 +1,112 @@
+//! K-means benchmarks: the paper's Fig. 2 / Fig. 9 / Fig. 10 workload.
+//!
+//! Two groups:
+//! * `kmeans_phases` measures the *host cost* of the real computation
+//!   behind one IC MapReduce iteration and one PIC local solve;
+//! * `kmeans_end_to_end` runs the full IC and PIC drivers (deterministic
+//!   analytic timing) and reports host time for the whole experiment —
+//!   the quantity the `repro` binary turns into simulated speedups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pic_apps::kmeans::{gaussian_mixture, init_random_centroids, Centroids, KMeansApp};
+use pic_core::prelude::*;
+use pic_mapreduce::{Dataset, Engine, Timing};
+use pic_simnet::ClusterSpec;
+
+fn timing() -> Timing {
+    Timing::PerRecord {
+        map_secs: 0.6e-6,
+        reduce_secs: 0.2e-6,
+    }
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let n = 50_000;
+    let k = 100;
+    let app = KMeansApp::new(k, 3, 1e-3);
+    let pts = gaussian_mixture(n, k, 3, 1000.0, 8.0, 1);
+    let init = Centroids::new(init_random_centroids(k, 3, 1000.0, 2));
+
+    let mut g = c.benchmark_group("kmeans_phases");
+    g.sample_size(10);
+
+    g.bench_function("ic_iteration_mr_job", |b| {
+        let engine = Engine::new(ClusterSpec::small());
+        let data = Dataset::create(&engine, "/b/ic", pts.clone(), 24);
+        let scope = IterScope::cluster(6, timing(), 6);
+        b.iter(|| app.iterate(&engine, &data, &init, &scope));
+    });
+
+    g.bench_function("pic_local_solve_round", |b| {
+        let parts = app.partition_data(
+            &{
+                let engine = Engine::new(ClusterSpec::small());
+                Dataset::create(&engine, "/b/pic", pts.clone(), 24)
+            },
+            24,
+        );
+        b.iter(|| {
+            let subs = app.split_model(&init, 24);
+            let solved: Vec<_> = parts
+                .iter()
+                .zip(&subs)
+                .enumerate()
+                .map(|(p, (recs, sm))| app.solve_local(p, recs, sm, 50))
+                .collect();
+            let models: Vec<Centroids> = solved.into_iter().map(|(m, _)| m).collect();
+            app.merge(&models, &init)
+        });
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kmeans_end_to_end");
+    g.sample_size(10);
+    for n in [10_000usize, 40_000] {
+        let k = 100;
+        let app = KMeansApp::new(k, 3, 1e-3);
+        let pts = gaussian_mixture(n, k, 3, 1000.0, 8.0, 1);
+        let init = Centroids::new(init_random_centroids(k, 3, 1000.0, 2));
+
+        g.bench_with_input(BenchmarkId::new("ic", n), &n, |b, _| {
+            b.iter(|| {
+                let engine = Engine::new(ClusterSpec::small());
+                let data = Dataset::create(&engine, "/b/ic", pts.clone(), 24);
+                run_ic(
+                    &engine,
+                    &app,
+                    &data,
+                    init.clone(),
+                    &IcOptions {
+                        timing: timing(),
+                        ..Default::default()
+                    },
+                )
+                .iterations
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("pic", n), &n, |b, _| {
+            b.iter(|| {
+                let engine = Engine::new(ClusterSpec::small());
+                let data = Dataset::create(&engine, "/b/pic", pts.clone(), 24);
+                run_pic(
+                    &engine,
+                    &app,
+                    &data,
+                    init.clone(),
+                    &PicOptions {
+                        partitions: 24,
+                        timing: timing(),
+                        ..Default::default()
+                    },
+                )
+                .be_iterations
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_phases, bench_end_to_end);
+criterion_main!(benches);

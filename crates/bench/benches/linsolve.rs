@@ -1,0 +1,69 @@
+//! Linear-solver benchmarks (paper Fig. 9's third bar, Fig. 12(c)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pic_apps::linsolve::{diag_dominant_system, LinSolveApp};
+use pic_core::prelude::*;
+use pic_mapreduce::{Dataset, Engine, Timing};
+use pic_simnet::ClusterSpec;
+
+fn timing() -> Timing {
+    Timing::PerRecord {
+        map_secs: 0.2e-6,
+        reduce_secs: 0.05e-6,
+    }
+}
+
+fn bench_linsolve(c: &mut Criterion) {
+    let n = 100; // the paper's exact size
+    let sys = diag_dominant_system(n, 0.05, 29);
+    let app = LinSolveApp::new(n, 5, 1e-8).with_exact(sys.exact.clone());
+
+    let mut g = c.benchmark_group("linsolve");
+    g.sample_size(20);
+
+    g.bench_function("jacobi_sweep_sequential", |b| {
+        let x = vec![0.0; n];
+        b.iter(|| sys.jacobi_sweep(&x));
+    });
+
+    g.bench_function("ic_full_run", |b| {
+        b.iter(|| {
+            let engine = Engine::new(ClusterSpec::small());
+            let data = Dataset::create(&engine, "/b/ls", sys.rows.clone(), 5);
+            run_ic(
+                &engine,
+                &app,
+                &data,
+                vec![0.0; n],
+                &IcOptions {
+                    timing: timing(),
+                    ..Default::default()
+                },
+            )
+            .iterations
+        });
+    });
+
+    g.bench_function("pic_full_run", |b| {
+        b.iter(|| {
+            let engine = Engine::new(ClusterSpec::small());
+            let data = Dataset::create(&engine, "/b/ls", sys.rows.clone(), 5);
+            run_pic(
+                &engine,
+                &app,
+                &data,
+                vec![0.0; n],
+                &PicOptions {
+                    partitions: 5,
+                    timing: timing(),
+                    ..Default::default()
+                },
+            )
+            .topoff_iterations
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_linsolve);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the MapReduce substrate itself: raw job overhead,
+//! shuffle volume handling, combiner effectiveness and map-only jobs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pic_mapreduce::traits::{FnCombiner, FnMapper, FnReducer};
+use pic_mapreduce::{Dataset, Engine, JobConfig, MapContext, ReduceContext, Timing};
+use pic_simnet::ClusterSpec;
+
+fn analytic(name: &str) -> JobConfig {
+    JobConfig::new(name).timing(Timing::default_analytic())
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapreduce_engine");
+    g.sample_size(10);
+
+    for n in [10_000usize, 100_000] {
+        let engine = Engine::new(ClusterSpec::small());
+        let data = Dataset::create(&engine, "/b/mr", (0..n as u64).collect(), 24);
+        let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| {
+            ctx.emit(*x % 1000, 1);
+        });
+        let reducer = FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((*k, vs.iter().sum()));
+        });
+        let combiner = FnCombiner::new(|_k: &u64, vs: &mut Vec<u64>| {
+            let s: u64 = vs.iter().sum();
+            vs.clear();
+            vs.push(s);
+        });
+
+        g.bench_with_input(BenchmarkId::new("full_job", n), &n, |b, _| {
+            b.iter(|| {
+                engine
+                    .run(&analytic("j"), &data, &mapper, &reducer)
+                    .stats
+                    .output_records
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("combined_job", n), &n, |b, _| {
+            b.iter(|| {
+                engine
+                    .run_with_combiner(&analytic("jc"), &data, &mapper, &combiner, &reducer)
+                    .stats
+                    .shuffle_records
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("map_only_job", n), &n, |b, _| {
+            b.iter(|| {
+                engine
+                    .run_map_only(&analytic("jm"), &data, &mapper)
+                    .stats
+                    .map_time_s
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

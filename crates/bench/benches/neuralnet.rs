@@ -1,0 +1,60 @@
+//! Neural-network training benchmarks (paper Fig. 10, Fig. 12(a)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pic_apps::neuralnet::{ocr_like_split, Mlp, NeuralNetApp};
+use pic_core::prelude::*;
+use pic_mapreduce::{Dataset, Engine, Timing};
+use pic_simnet::ClusterSpec;
+
+fn timing() -> Timing {
+    Timing::PerRecord {
+        map_secs: 1e-3,
+        reduce_secs: 1e-4,
+    }
+}
+
+fn bench_neuralnet(c: &mut Criterion) {
+    let (train, valid) = ocr_like_split(4_000, 400, 10, 64, 0.08, 41);
+    let mut app = NeuralNetApp::new(valid);
+    app.max_iterations = 30;
+    let init = Mlp::random(64, 32, 10, 13);
+
+    let mut g = c.benchmark_group("neuralnet");
+    g.sample_size(10);
+
+    g.bench_function("gradient_job", |b| {
+        let engine = Engine::new(ClusterSpec::small());
+        let data = Dataset::create(&engine, "/b/nn", train.clone(), 24);
+        let scope = IterScope::cluster(6, timing(), 6);
+        b.iter(|| app.iterate(&engine, &data, &init, &scope));
+    });
+
+    g.bench_function("local_solve_one_shard", |b| {
+        let shard = &train[..train.len() / 12];
+        b.iter(|| app.solve_local(0, shard, &init, 10));
+    });
+
+    g.bench_function("pic_full", |b| {
+        b.iter(|| {
+            let engine = Engine::new(ClusterSpec::small());
+            let data = Dataset::create(&engine, "/b/nn", train.clone(), 24);
+            run_pic(
+                &engine,
+                &app,
+                &data,
+                init.clone(),
+                &PicOptions {
+                    partitions: 12,
+                    timing: timing(),
+                    local_secs_per_record: Some(2e-5),
+                    ..Default::default()
+                },
+            )
+            .be_iterations
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_neuralnet);
+criterion_main!(benches);

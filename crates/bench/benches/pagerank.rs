@@ -1,0 +1,73 @@
+//! PageRank benchmarks (paper Fig. 9's second bar).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pic_apps::pagerank::{block_local_graph, PageRankApp, PartitionMode};
+use pic_core::prelude::*;
+use pic_mapreduce::{Dataset, Engine, Timing};
+use pic_simnet::ClusterSpec;
+
+fn timing() -> Timing {
+    Timing::PerRecord {
+        map_secs: 0.2e-6,
+        reduce_secs: 0.05e-6,
+    }
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let n = 20_000;
+    let partitions = 18;
+    let graph = block_local_graph(n, partitions, 2, 8, 0.9, 17);
+    let app = PageRankApp::new(graph.clone(), partitions, PartitionMode::Random, 5);
+
+    let mut g = c.benchmark_group("pagerank");
+    g.sample_size(10);
+
+    g.bench_function("aggregation_job", |b| {
+        let engine = Engine::new(ClusterSpec::small());
+        let data = Dataset::create(&engine, "/b/pr", graph.records(), 24);
+        let scope = IterScope::cluster(6, timing(), 6);
+        let model = app.initial_model();
+        b.iter(|| app.iterate(&engine, &data, &model, &scope));
+    });
+
+    g.bench_function("ic_10_iterations", |b| {
+        b.iter(|| {
+            let engine = Engine::new(ClusterSpec::small());
+            let data = Dataset::create(&engine, "/b/pr", graph.records(), 24);
+            run_ic(
+                &engine,
+                &app,
+                &data,
+                app.initial_model(),
+                &IcOptions {
+                    timing: timing(),
+                    ..Default::default()
+                },
+            )
+            .iterations
+        });
+    });
+
+    g.bench_function("pic_full", |b| {
+        b.iter(|| {
+            let engine = Engine::new(ClusterSpec::small());
+            let data = Dataset::create(&engine, "/b/pr", graph.records(), 24);
+            run_pic(
+                &engine,
+                &app,
+                &data,
+                app.initial_model(),
+                &PicOptions {
+                    partitions,
+                    timing: timing(),
+                    ..Default::default()
+                },
+            )
+            .be_iterations
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pagerank);
+criterion_main!(benches);

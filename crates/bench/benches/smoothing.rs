@@ -1,0 +1,65 @@
+//! Image-smoothing benchmarks (paper Fig. 10 third bar, Fig. 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pic_apps::smoothing::{noisy_image, SmoothingApp};
+use pic_core::prelude::*;
+use pic_mapreduce::{Dataset, Engine, Timing};
+use pic_simnet::ClusterSpec;
+
+fn timing(w: usize) -> Timing {
+    Timing::PerRecord {
+        map_secs: 2e-4 + 8e-9 * w as f64,
+        reduce_secs: 5e-5,
+    }
+}
+
+fn bench_smoothing(c: &mut Criterion) {
+    let side = 128;
+    let f = noisy_image(side, side, 0.08, 3);
+    let app = SmoothingApp::new(side, side, 16, 1e-4);
+
+    let mut g = c.benchmark_group("smoothing");
+    g.sample_size(10);
+
+    g.bench_function("sequential_sweep", |b| {
+        b.iter(|| app.sequential_sweep(&f, &f));
+    });
+
+    g.bench_function("stencil_job", |b| {
+        let engine = Engine::new(ClusterSpec::medium());
+        let data = Dataset::create(&engine, "/b/sm", f.rows(), 64);
+        let scope = IterScope::cluster(64, timing(side), 16);
+        b.iter(|| app.iterate(&engine, &data, &f, &scope));
+    });
+
+    // Fig. 11's subject: the same fixed image on growing clusters.
+    for nodes in [64usize, 256] {
+        g.bench_with_input(
+            BenchmarkId::new("pic_full_nodes", nodes),
+            &nodes,
+            |b, &nodes| {
+                b.iter(|| {
+                    let engine = Engine::new(ClusterSpec::large(nodes));
+                    let data = Dataset::create(&engine, "/b/sm", f.rows(), 64);
+                    run_pic(
+                        &engine,
+                        &app,
+                        &data,
+                        f.clone(),
+                        &PicOptions {
+                            partitions: 16,
+                            timing: timing(side),
+                            local_secs_per_record: Some(8e-9 * side as f64),
+                            ..Default::default()
+                        },
+                    )
+                    .be_iterations
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_smoothing);
+criterion_main!(benches);

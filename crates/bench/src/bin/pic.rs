@@ -1,0 +1,273 @@
+//! `pic` — run any of the five case studies, IC vs PIC, on any simulated
+//! cluster, from the command line.
+//!
+//! ```text
+//! pic kmeans    --n 100000 --k 100 --partitions 24 --cluster small
+//! pic pagerank  --n 20000 --partitions 18 --cluster small
+//! pic neuralnet --n 10000 --partitions 12
+//! pic linsolve  --n 100 --partitions 5
+//! pic smoothing --side 256 --partitions 16 --cluster medium
+//! ```
+
+use pic_bench::experiments::common::cost;
+use pic_bench::table::{fmt_bytes, fmt_secs, fmt_x, Table};
+use pic_core::prelude::*;
+use pic_mapreduce::{Dataset, Engine};
+use pic_simnet::{ClusterSpec, TrafficClass};
+
+#[derive(Debug)]
+struct Args {
+    app: String,
+    n: usize,
+    k: usize,
+    side: usize,
+    partitions: usize,
+    cluster: String,
+    seed: u64,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            app: String::new(),
+            n: 50_000,
+            k: 100,
+            side: 256,
+            partitions: 24,
+            cluster: "small".into(),
+            seed: 42,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.is_empty() {
+            usage("missing app name");
+        }
+        args.app = argv[0].clone();
+        let mut i = 1;
+        while i < argv.len() {
+            let take = |i: &mut usize| -> String {
+                *i += 1;
+                argv.get(*i)
+                    .unwrap_or_else(|| usage("flag needs a value"))
+                    .clone()
+            };
+            match argv[i].as_str() {
+                "--n" => args.n = take(&mut i).parse().unwrap_or_else(|_| usage("--n")),
+                "--k" => args.k = take(&mut i).parse().unwrap_or_else(|_| usage("--k")),
+                "--side" => args.side = take(&mut i).parse().unwrap_or_else(|_| usage("--side")),
+                "--partitions" => {
+                    args.partitions = take(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| usage("--partitions"))
+                }
+                "--cluster" => args.cluster = take(&mut i),
+                "--seed" => args.seed = take(&mut i).parse().unwrap_or_else(|_| usage("--seed")),
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+            i += 1;
+        }
+        args
+    }
+
+    fn cluster_spec(&self) -> ClusterSpec {
+        match self.cluster.as_str() {
+            "small" => ClusterSpec::small(),
+            "medium" => ClusterSpec::medium(),
+            s if s.starts_with("large") => {
+                let n = s
+                    .strip_prefix("large:")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(64);
+                ClusterSpec::large(n)
+            }
+            other => usage(&format!("unknown cluster '{other}' (small|medium|large:N)")),
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: pic <kmeans|pagerank|neuralnet|linsolve|smoothing> [flags]\n\
+         \n\
+         flags:\n\
+           --n <records>        dataset size (points/pages/samples/unknowns)\n\
+           --k <clusters>       K-means cluster count (default 100)\n\
+           --side <pixels>      smoothing image side (default 256)\n\
+           --partitions <p>     PIC sub-problem count (default 24)\n\
+           --cluster <c>        small | medium | large:N (default small)\n\
+           --seed <s>           workload seed (default 42)"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Run one app through both drivers and print the comparison.
+fn report<A: PicApp>(
+    spec: &ClusterSpec,
+    app: &A,
+    records: Vec<A::Record>,
+    init: A::Model,
+    splits: usize,
+    partitions: usize,
+    cost: cost::AppCost,
+) where
+    A::Record: Clone,
+    A::Model: Clone,
+{
+    let ic_engine = Engine::new(spec.clone());
+    let data = Dataset::create(&ic_engine, "/cli/input", records.clone(), splits);
+    ic_engine.reset();
+    let ic = run_ic(
+        &ic_engine,
+        app,
+        &data,
+        init.clone(),
+        &IcOptions {
+            timing: cost.timing.clone(),
+            ..Default::default()
+        },
+    );
+
+    let pic_engine = Engine::new(spec.clone());
+    let data = Dataset::create(&pic_engine, "/cli/input", records, splits);
+    pic_engine.reset();
+    let pic = run_pic(
+        &pic_engine,
+        app,
+        &data,
+        init,
+        &PicOptions {
+            partitions,
+            timing: cost.timing,
+            local_secs_per_record: Some(cost.local_secs),
+            ..Default::default()
+        },
+    );
+
+    let mut t = Table::new(["", "IC baseline", "PIC"]);
+    t.row([
+        "simulated time",
+        &fmt_secs(ic.total_time_s),
+        &fmt_secs(pic.total_time_s),
+    ]);
+    t.row([
+        "iterations",
+        &ic.iterations.to_string(),
+        &format!(
+            "{} BE + {} top-off",
+            pic.be_iterations, pic.topoff_iterations
+        ),
+    ]);
+    t.row([
+        "intermediate data",
+        &fmt_bytes(ic.traffic.get(TrafficClass::MapSpill)),
+        &fmt_bytes(pic.traffic().get(TrafficClass::MapSpill)),
+    ]);
+    t.row([
+        "model updates",
+        &fmt_bytes(ic.traffic.model_update_total()),
+        &fmt_bytes(pic.traffic().model_update_total()),
+    ]);
+    if let (Some(a), Some(b)) = (
+        ic.trajectory.last().map(|p| p.error),
+        pic.trajectory.last().map(|p| p.error),
+    ) {
+        t.row(["final error", &format!("{a:.4}"), &format!("{b:.4}")]);
+    }
+    println!("{}", t.render());
+    println!("speedup: {}", fmt_x(ic.total_time_s / pic.total_time_s));
+    println!(
+        "max local iterations per BE round: {:?}",
+        pic.max_local_iterations()
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let spec = args.cluster_spec();
+    println!(
+        "app={} cluster={} ({} nodes) partitions={}\n",
+        args.app, spec.name, spec.nodes, args.partitions
+    );
+
+    match args.app.as_str() {
+        "kmeans" => {
+            use pic_apps::kmeans::{gaussian_mixture, init_random_centroids, Centroids, KMeansApp};
+            let app = KMeansApp::new(args.k, 3, 1.0);
+            let pts = gaussian_mixture(args.n, args.k, 3, 1000.0, 40.0, args.seed);
+            let init = Centroids::new(init_random_centroids(args.k, 3, 1000.0, args.seed + 1));
+            report(
+                &spec,
+                &app,
+                pts,
+                init,
+                args.partitions,
+                args.partitions,
+                cost::kmeans(),
+            );
+        }
+        "pagerank" => {
+            use pic_apps::pagerank::{block_local_graph, PageRankApp, PartitionMode};
+            let g = block_local_graph(args.n, args.partitions, 2, 8, 0.9, args.seed);
+            let app =
+                PageRankApp::new(g.clone(), args.partitions, PartitionMode::Random, args.seed);
+            let init = app.initial_model();
+            report(
+                &spec,
+                &app,
+                g.records(),
+                init,
+                args.partitions,
+                args.partitions,
+                cost::pagerank(),
+            );
+        }
+        "neuralnet" => {
+            use pic_apps::neuralnet::{ocr_like_split, Mlp, NeuralNetApp};
+            let (train, valid) = ocr_like_split(args.n, args.n / 10, 10, 64, 0.2, args.seed);
+            let mut app = NeuralNetApp::new(valid);
+            app.max_iterations = 60;
+            let init = Mlp::random(64, 32, 10, args.seed + 1);
+            report(
+                &spec,
+                &app,
+                train,
+                init,
+                args.partitions,
+                args.partitions,
+                cost::neuralnet(),
+            );
+        }
+        "linsolve" => {
+            use pic_apps::linsolve::{diag_dominant_system, LinSolveApp};
+            let sys = diag_dominant_system(args.n, 0.05, args.seed);
+            let app = LinSolveApp::new(args.n, args.partitions, 1e-8).with_exact(sys.exact.clone());
+            report(
+                &spec,
+                &app,
+                sys.rows,
+                vec![0.0; args.n],
+                args.partitions,
+                args.partitions,
+                cost::linsolve(),
+            );
+        }
+        "smoothing" => {
+            use pic_apps::smoothing::{noisy_image, SmoothingApp};
+            let f = noisy_image(args.side, args.side, 0.08, args.seed);
+            let app = SmoothingApp::new(args.side, args.side, args.partitions, 1e-6);
+            report(
+                &spec,
+                &app,
+                f.rows(),
+                f.clone(),
+                args.partitions,
+                args.partitions,
+                cost::smoothing(args.side),
+            );
+        }
+        other => usage(&format!("unknown app '{other}'")),
+    }
+}

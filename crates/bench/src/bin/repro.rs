@@ -1,0 +1,92 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --exp all            # every experiment at default scale
+//! repro --exp fig9,table2    # a subset
+//! repro --exp fig10 --scale 0.1
+//! repro --list
+//! ```
+
+use pic_bench::experiments::{self, ExperimentCtx, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exps: Vec<String> = Vec::new();
+    let mut ctx = ExperimentCtx::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for name in ALL {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--exp" => {
+                i += 1;
+                let spec = args.get(i).unwrap_or_else(|| usage("--exp needs a value"));
+                if spec == "all" {
+                    exps.extend(ALL.iter().map(|s| s.to_string()));
+                } else {
+                    exps.extend(spec.split(',').map(str::to_string));
+                }
+            }
+            "--scale" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--scale needs a value"));
+                ctx.scale = v.parse().unwrap_or_else(|_| {
+                    usage("--scale must be a positive number");
+                });
+                if !(ctx.scale > 0.0) {
+                    usage("--scale must be positive");
+                }
+            }
+            "--help" | "-h" => {
+                usage("");
+            }
+            other => {
+                usage(&format!("unknown argument '{other}'"));
+            }
+        }
+        i += 1;
+    }
+
+    if exps.is_empty() {
+        usage("no experiments selected");
+    }
+
+    for (idx, name) in exps.iter().enumerate() {
+        if idx > 0 {
+            println!("\n{}\n", "=".repeat(78));
+        }
+        let t0 = std::time::Instant::now();
+        match experiments::run(name, &ctx) {
+            Ok(report) => {
+                print!("{report}");
+                eprintln!(
+                    "[{name}] completed in {:.1}s (host time)",
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro --exp <name[,name...]|all> [--scale <f>]\n       repro --list\n\n\
+         experiments: {ALL:?}\n\
+         --scale multiplies every workload's record count (default 1.0)"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

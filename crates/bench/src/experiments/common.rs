@@ -1,0 +1,174 @@
+//! Shared plumbing for experiment runners.
+
+use pic_core::prelude::*;
+use pic_mapreduce::{Dataset, Engine};
+use pic_simnet::ClusterSpec;
+
+/// Deterministic per-record costs per application.
+///
+/// Two rates per app, and the gap between them is the heart of the
+/// paper's result:
+///
+/// * **framework rate** (`map_secs`/`reduce_secs`): one record processed
+///   by a Hadoop-era MapReduce pass — deserialization, object churn,
+///   sort/spill bookkeeping *plus* the kernel. Calibrated so the paper's
+///   reported runtimes come out right (e.g. 5M-point K-means at ~116 s
+///   per iteration on 24 slots ⇒ ~0.2–0.5 ms per record; Nutch PageRank
+///   over 1.8M pages at ~6 min per iteration ⇒ ~1 ms per page). Hadoop
+///   0.20 really was this slow per record — that is much of why the
+///   paper's baselines take an hour.
+/// * **local rate** (`local_secs`): the same record inside a PIC local
+///   iteration — a plain loop over an in-memory array, i.e. the kernel's
+///   raw flops at ~1 GFLOP/s. Two to three orders of magnitude cheaper.
+pub mod cost {
+    use pic_mapreduce::Timing;
+
+    /// One application's timing: framework rates plus the in-memory rate.
+    #[derive(Debug, Clone)]
+    pub struct AppCost {
+        /// Framework (MapReduce-pass) rates.
+        pub timing: Timing,
+        /// In-memory per-record cost of one local iteration.
+        pub local_secs: f64,
+    }
+
+    /// K-means, k=100, dim=3: kernel ≈ 600 flops per point. The
+    /// framework rate is calibrated to the paper's own measurement:
+    /// 5M points per iteration on 24 slots at ~116 s/iteration ⇒
+    /// ~560 µs per record.
+    pub fn kmeans() -> AppCost {
+        AppCost {
+            timing: Timing::PerRecord {
+                map_secs: 5.6e-4,
+                reduce_secs: 5e-5,
+            },
+            local_secs: 0.6e-6,
+        }
+    }
+
+    /// PageRank over Nutch-style page records (heavy: URLs + link lists).
+    pub fn pagerank() -> AppCost {
+        AppCost {
+            timing: Timing::PerRecord {
+                map_secs: 1e-3,
+                reduce_secs: 5e-5,
+            },
+            local_secs: 1e-6,
+        }
+    }
+
+    /// MLP backprop, d=64 h=32 o=10: kernel ≈ 9k flops per sample.
+    pub fn neuralnet() -> AppCost {
+        AppCost {
+            timing: Timing::PerRecord {
+                map_secs: 1e-3,
+                reduce_secs: 1e-4,
+            },
+            local_secs: 2e-5,
+        }
+    }
+
+    /// Dense Jacobi row of n=100: kernel ≈ 200 flops per row.
+    pub fn linsolve() -> AppCost {
+        AppCost {
+            timing: Timing::PerRecord {
+                map_secs: 5e-4,
+                reduce_secs: 5e-5,
+            },
+            local_secs: 0.2e-6,
+        }
+    }
+
+    /// Stencil row of `w` pixels: kernel ≈ 8 flops per pixel.
+    pub fn smoothing(w: usize) -> AppCost {
+        AppCost {
+            timing: Timing::PerRecord {
+                map_secs: 2e-4 + 8e-9 * w as f64,
+                reduce_secs: 5e-5,
+            },
+            local_secs: 8e-9 * w as f64,
+        }
+    }
+}
+
+/// The IC and PIC runs of one app on one cluster, executed on independent
+/// engines over identical data, plus their reports.
+pub struct Comparison<M> {
+    /// The baseline report.
+    pub ic: IcReport<M>,
+    /// The PIC report.
+    pub pic: PicReport<M>,
+}
+
+impl<M> Comparison<M> {
+    /// Speedup of PIC over the IC baseline (the paper's headline metric).
+    pub fn speedup(&self) -> f64 {
+        pic_core::report::speedup(self.ic.total_time_s, self.pic.total_time_s)
+    }
+}
+
+/// Run the IC baseline and the PIC implementation of `app` over the same
+/// records on fresh engines of `spec`. `splits` is the map-task count for
+/// the input; `timing` the deterministic cost model.
+pub fn compare<A: PicApp>(
+    spec: &ClusterSpec,
+    app: &A,
+    records: Vec<A::Record>,
+    init: A::Model,
+    splits: usize,
+    partitions: usize,
+    cost: cost::AppCost,
+) -> Comparison<A::Model>
+where
+    A::Record: Clone,
+    A::Model: Clone,
+{
+    let ic_engine = Engine::new(spec.clone());
+    let ic_data = Dataset::create(&ic_engine, "/exp/input", records.clone(), splits);
+    ic_engine.reset(); // dataset load is not part of the measured run
+    let ic = run_ic(
+        &ic_engine,
+        app,
+        &ic_data,
+        init.clone(),
+        &IcOptions {
+            timing: cost.timing.clone(),
+            ..Default::default()
+        },
+    );
+
+    let pic_engine = Engine::new(spec.clone());
+    let pic_data = Dataset::create(&pic_engine, "/exp/input", records, splits);
+    pic_engine.reset();
+    let pic = run_pic(
+        &pic_engine,
+        app,
+        &pic_data,
+        init,
+        &PicOptions {
+            partitions,
+            timing: cost.timing,
+            local_secs_per_record: Some(cost.local_secs),
+            ..Default::default()
+        },
+    );
+
+    Comparison { ic, pic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_apps::kmeans::{gaussian_mixture, init_random_centroids, Centroids, KMeansApp};
+
+    #[test]
+    fn compare_runs_both_sides() {
+        let app = KMeansApp::new(4, 2, 1e-3);
+        let pts = gaussian_mixture(500, 4, 2, 100.0, 1.5, 3);
+        let init = Centroids::new(init_random_centroids(4, 2, 100.0, 7));
+        let cmp = compare(&ClusterSpec::small(), &app, pts, init, 6, 4, cost::kmeans());
+        assert!(cmp.ic.iterations > 0);
+        assert!(cmp.pic.be_iterations > 0);
+        assert!(cmp.speedup() > 0.0);
+    }
+}

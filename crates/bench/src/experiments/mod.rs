@@ -1,0 +1,62 @@
+//! Experiment runners, one per table/figure of the paper's evaluation.
+//!
+//! Each runner builds the workload at a laptop-scale size with the same
+//! statistical structure as the paper's, executes the IC baseline and the
+//! PIC implementation on the simulated cluster the paper used for that
+//! experiment, and renders the corresponding table/figure rows together
+//! with the paper's expected shape. EXPERIMENTS.md records the outcomes.
+
+pub mod ablation;
+pub mod common;
+pub mod fig2;
+pub mod speedups;
+pub mod tables;
+pub mod trajectories;
+
+/// Shared knob: scales every workload's record count. `1.0` is the
+/// default size documented in DESIGN.md; smaller values make smoke runs
+/// fast, larger values stress the harness.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentCtx {
+    /// Record-count multiplier.
+    pub scale: f64,
+}
+
+impl Default for ExperimentCtx {
+    fn default() -> Self {
+        ExperimentCtx { scale: 1.0 }
+    }
+}
+
+impl ExperimentCtx {
+    /// Scale a default record count, keeping at least `min`.
+    pub fn n(&self, default: usize, min: usize) -> usize {
+        ((default as f64 * self.scale) as usize).max(min)
+    }
+}
+
+/// All paper experiments, in paper order, plus the design-choice
+/// ablations DESIGN.md §5 calls out.
+pub const ALL: &[&str] = &[
+    "fig2", "fig9", "fig10", "fig11", "fig12a", "fig12b", "fig12c", "table1", "table2", "table3",
+    "weak", "ablation",
+];
+
+/// Run one experiment by name, returning its rendered report.
+pub fn run(name: &str, ctx: &ExperimentCtx) -> Result<String, String> {
+    match name {
+        "fig2" => Ok(fig2::run(ctx)),
+        "fig9" => Ok(speedups::fig9(ctx)),
+        "fig10" => Ok(speedups::fig10(ctx)),
+        "fig11" => Ok(speedups::fig11(ctx)),
+        "fig12a" => Ok(trajectories::fig12a(ctx)),
+        "fig12b" => Ok(trajectories::fig12b(ctx)),
+        "fig12c" => Ok(trajectories::fig12c(ctx)),
+        "table1" => Ok(tables::table1(ctx)),
+        "table2" => Ok(tables::table2(ctx)),
+        "table3" => Ok(tables::table3(ctx)),
+        "weak" => Ok(speedups::weak_scaling(ctx)),
+        "ablation" => Ok(ablation::run(ctx)),
+        other => Err(format!("unknown experiment '{other}'; known: {ALL:?}")),
+    }
+}

@@ -1,0 +1,229 @@
+//! Tables I–III of the paper.
+
+use super::common::{compare, cost};
+use super::ExperimentCtx;
+use crate::table::{fmt_bytes, Table};
+use pic_apps::kmeans::{
+    gaussian_mixture, init_random_centroids, jagota_index, Centroids, KMeansApp,
+};
+use pic_simnet::{ClusterSpec, TrafficClass};
+
+/// Table I: iterations required for IC and the best-effort phase of PIC
+/// (K-means) across dataset sizes. Paper sizes: 0.5M / 5M / 50M / 500M
+/// points; here scaled ×⁠250 down with the same k.
+pub fn table1(ctx: &ExperimentCtx) -> String {
+    // Sizes chosen so even the smallest keeps enough points per cluster
+    // per partition for the partitioned statistics to be meaningful
+    // (paper sizes are 25x–2500x larger; its smallest, 0.5M, has ~200
+    // points per cluster per partition — matching our largest).
+    let sizes: Vec<usize> = [20_000usize, 50_000, 100_000, 200_000]
+        .iter()
+        .map(|&n| ctx.n(n, 2_000))
+        .collect();
+    let spec = ClusterSpec::small();
+    let k = 100;
+    let dim = 3;
+    let partitions = 24;
+
+    let mut t = Table::new([
+        "dataset size",
+        "IC iterations",
+        "best-effort iterations (PIC)",
+        "max local iterations per BE iter (PIC)",
+    ]);
+    for &n in &sizes {
+        let app = KMeansApp::new(k, dim, 1.0);
+        let pts = gaussian_mixture(n, k, dim, 1000.0, 40.0, 55);
+        let init = Centroids::new(init_random_centroids(k, dim, 1000.0, 7));
+        let cmp = compare(&spec, &app, pts, init, 24, partitions, cost::kmeans());
+        let locals: Vec<String> = cmp
+            .pic
+            .max_local_iterations()
+            .iter()
+            .map(|i| i.to_string())
+            .collect();
+        t.row([
+            n.to_string(),
+            cmp.ic.iterations.to_string(),
+            cmp.pic.be_iterations.to_string(),
+            locals.join(" "),
+        ]);
+    }
+    format!(
+        "Table I — iterations for IC and the best-effort phase of PIC (K-means, \
+         k={k})\n\n{}\n\
+         paper expectation: IC needs ~30 iterations regardless of size; PIC needs \
+         3–5 best-effort iterations; local iterations peak in the first \
+         best-effort iteration and fall after it. (Absolute local-iteration \
+         counts are scale-dependent: they grow with log(partition sampling \
+         noise / threshold), and the paper's 28M-point partitions sit ~4 \
+         decades below ours on that axis — hence its 2–3 versus our 10–50.)\n",
+        t.render()
+    )
+}
+
+/// Table II: breakdown of data read or generated during K-means
+/// clustering. Paper: 500M points on the small cluster; here scaled down,
+/// with the byte accounting exact for the size actually run.
+pub fn table2(ctx: &ExperimentCtx) -> String {
+    let n = ctx.n(500_000, 2_000);
+    let spec = ClusterSpec::small();
+    let k = 100;
+    let dim = 3;
+
+    let app = KMeansApp::new(k, dim, 1.0);
+    let pts = gaussian_mixture(n, k, dim, 1000.0, 40.0, 21);
+    let init = Centroids::new(init_random_centroids(k, dim, 1000.0, 5));
+    let cmp = compare(&spec, &app, pts, init, 24, 24, cost::kmeans());
+
+    // "1 Baseline It.": the mean over the baseline's iterations.
+    let iters = cmp.ic.per_iteration.len().max(1) as u64;
+    let ic_inter_total = cmp.ic.traffic.get(TrafficClass::MapSpill);
+    let ic_model_total = cmp.ic.traffic.model_update_total();
+    let be = &cmp.pic.be_traffic;
+    let pic_traffic = cmp.pic.traffic();
+
+    let mut t = Table::new([
+        "",
+        "1 Baseline It. (IC)",
+        "Total Baseline (IC)",
+        "PIC best-effort phase",
+        "Total PIC (incl. top-off)",
+    ]);
+    t.row([
+        "Intermediate data",
+        &fmt_bytes(ic_inter_total / iters),
+        &fmt_bytes(ic_inter_total),
+        &fmt_bytes(be.get(TrafficClass::MapSpill)),
+        &fmt_bytes(pic_traffic.get(TrafficClass::MapSpill)),
+    ]);
+    t.row([
+        "Model updates",
+        &fmt_bytes(ic_model_total / iters),
+        &fmt_bytes(ic_model_total),
+        &fmt_bytes(be.model_update_total()),
+        &fmt_bytes(pic_traffic.model_update_total()),
+    ]);
+
+    format!(
+        "Table II — data read or generated during K-means clustering of {n} points \
+         (small cluster; paper ran 500M points — scale the byte columns by \
+         {:.0}x for the paper's size)\n\n{}\n\
+         paper expectation: the paper's PIC column (80.9 KB intermediate data, \
+         92 KB model updates) corresponds to our best-effort-phase column — at \
+         500M points its merged model met the convergence criterion outright, \
+         so its top-off contributed no traffic. At this reduced scale the \
+         top-off still runs (its traffic scales with its {} iterations vs the \
+         baseline's {}), so the total-PIC column shows that ratio instead of \
+         the full collapse.\n",
+        500_000_000.0 / n as f64,
+        t.render(),
+        cmp.pic.topoff_iterations,
+        cmp.ic.iterations,
+    )
+}
+
+/// Table III: Jagota index of the model produced by PIC's best-effort
+/// phase vs the IC model, on two datasets.
+pub fn table3(ctx: &ExperimentCtx) -> String {
+    let n = ctx.n(50_000, 2_000);
+    let spec = ClusterSpec::small();
+    let k = 50;
+    let dim = 3;
+
+    let mut t = Table::new(["", "Dataset 1", "Dataset 2"]);
+    let mut ic_row = vec!["IC K-means".to_string()];
+    let mut pic_row = vec!["PIC BE Phase K-means".to_string()];
+    let mut diff_row = vec!["Difference(%)".to_string()];
+
+    // Dataset 1: well separated clusters; dataset 2: heavy overlap.
+    for (seed, sigma) in [(101u64, 5.0f64), (202, 40.0)] {
+        let app = KMeansApp::new(k, dim, 1.0);
+        let pts = gaussian_mixture(n, k, dim, 1000.0, sigma, seed);
+        let init = Centroids::new(init_random_centroids(k, dim, 1000.0, seed + 1));
+        let cmp = compare(&spec, &app, pts.clone(), init, 24, 24, cost::kmeans());
+        let q_ic = jagota_index(&pts, &cmp.ic.final_model);
+        let q_be = jagota_index(&pts, &cmp.pic.be_model);
+        ic_row.push(format!("{q_ic:.3}"));
+        pic_row.push(format!("{q_be:.3}"));
+        diff_row.push(format!("{:.2}%", 100.0 * (q_be - q_ic) / q_ic));
+    }
+    t.row(ic_row);
+    t.row(pic_row);
+    t.row(diff_row);
+
+    format!(
+        "Table III — clustering quality (Jagota index, lower = tighter) of the \
+         best-effort phase vs IC ({n} points, k={k})\n\n{}\n\
+         paper expectation: the best-effort phase is within ~3% of the IC model \
+         (0.14% and 2.75% in the paper).\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_iteration_structure() {
+        let spec = ClusterSpec::small();
+        let app = KMeansApp::new(20, 3, 1.0);
+        let pts = gaussian_mixture(4_000, 20, 3, 1000.0, 8.0, 55);
+        let init = Centroids::new(init_random_centroids(20, 3, 1000.0, 7));
+        let cmp = compare(&spec, &app, pts, init, 24, 24, cost::kmeans());
+        assert!(
+            cmp.ic.iterations >= 5,
+            "IC iterations {}",
+            cmp.ic.iterations
+        );
+        assert!(
+            cmp.pic.be_iterations <= cmp.ic.iterations,
+            "BE iterations should be far fewer"
+        );
+        let locals = cmp.pic.max_local_iterations();
+        if locals.len() >= 2 {
+            assert!(
+                locals[1..].iter().all(|&l| l <= locals[0]),
+                "later BE iterations need fewer local iterations: {locals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_pic_traffic_collapses() {
+        let spec = ClusterSpec::small();
+        // Geometry where the baseline has real work (IC ~25 iterations)
+        // and partitions keep enough points per cluster.
+        let app = KMeansApp::new(100, 3, 1.0);
+        let pts = gaussian_mixture(20_000, 100, 3, 1000.0, 8.0, 33);
+        let init = Centroids::new(init_random_centroids(100, 3, 1000.0, 9));
+        let cmp = compare(&spec, &app, pts, init, 24, 24, cost::kmeans());
+        let ic_inter = cmp.ic.traffic.get(TrafficClass::MapSpill);
+        let pic_inter = cmp.pic.traffic().get(TrafficClass::MapSpill);
+        assert!(
+            pic_inter * 2 < ic_inter,
+            "PIC intermediate {pic_inter} should be a small fraction of IC {ic_inter}"
+        );
+        assert!(
+            cmp.pic.traffic().model_update_total() < cmp.ic.traffic.model_update_total(),
+            "PIC writes the model far less often"
+        );
+    }
+
+    #[test]
+    fn table3_jagota_within_band() {
+        let spec = ClusterSpec::small();
+        let app = KMeansApp::new(10, 3, 1.0);
+        let pts = gaussian_mixture(5_000, 10, 3, 1000.0, 5.0, 101);
+        let init = Centroids::new(init_random_centroids(10, 3, 1000.0, 102));
+        let cmp = compare(&spec, &app, pts.clone(), init, 24, 12, cost::kmeans());
+        let q_ic = jagota_index(&pts, &cmp.ic.final_model);
+        let q_be = jagota_index(&pts, &cmp.pic.be_model);
+        let diff = (q_be - q_ic).abs() / q_ic;
+        assert!(
+            diff < 0.15,
+            "Jagota difference {diff} too large (ic {q_ic}, be {q_be})"
+        );
+    }
+}

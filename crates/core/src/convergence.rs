@@ -1,0 +1,83 @@
+//! Convergence predicates and distance helpers shared by the case studies.
+
+/// Euclidean (L2) distance between two equal-length vectors.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Largest absolute element-wise difference (L∞).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// L1 distance (sum of absolute differences).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Relative change `‖a − b‖₂ / max(‖b‖₂, ε)`, robust near zero.
+pub fn rel_change(a: &[f64], b: &[f64]) -> f64 {
+    let denom = b.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-30);
+    l2_distance(a, b) / denom
+}
+
+/// True when every element moved less than `threshold` — the paper's
+/// K-means criterion ("if the change in the value of all the K centroids
+/// is within a pre-specified threshold").
+pub fn all_within(a: &[f64], b: &[f64], threshold: f64) -> bool {
+    max_abs_diff(a, b) < threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_basics() {
+        assert_eq!(l2_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(l2_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn linf_and_l1() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[2.0, 2.0]), 3.0);
+        assert_eq!(l1_distance(&[1.0, 5.0], &[2.0, 2.0]), 4.0);
+    }
+
+    #[test]
+    fn rel_change_handles_zero_reference() {
+        let r = rel_change(&[1.0], &[0.0]);
+        assert!(r.is_finite() && r > 0.0);
+    }
+
+    #[test]
+    fn all_within_threshold() {
+        assert!(all_within(&[1.0, 2.0], &[1.05, 2.05], 0.1));
+        assert!(!all_within(&[1.0, 2.0], &[1.2, 2.0], 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        l2_distance(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! The conventional iterative-convergence driver (paper Fig. 1(a)):
+//!
+//! ```text
+//! do {
+//!     m_prev = m;
+//!     m = MapReduce(d, m);     // app.iterate
+//! } until converged(m_prev, m);
+//! ```
+//!
+//! Each iteration broadcasts the model to the workers (distributed-cache
+//! style), runs the app's job(s), and writes the refined model back to the
+//! replicated DFS — the two model-movement costs the paper identifies.
+
+use crate::app::IterativeApp;
+use crate::report::{IcReport, IterationStats, TrajectoryPoint};
+use crate::scope::IterScope;
+use pic_mapreduce::kv::ByteSize;
+use pic_mapreduce::{Dataset, Engine, Timing};
+use pic_simnet::topology::NodeId;
+use pic_simnet::traffic::TrafficClass;
+
+/// Options for an IC run.
+#[derive(Debug, Clone)]
+pub struct IcOptions {
+    /// Iteration cap; `None` defers to [`IterativeApp::max_iterations`].
+    pub max_iterations: Option<usize>,
+    /// Task-duration model.
+    pub timing: Timing,
+    /// Node group to run on (`None` = whole cluster).
+    pub group: Option<std::ops::Range<NodeId>>,
+    /// Reduce tasks per job; `0` = one per group node.
+    pub reducers: usize,
+    /// DFS path prefix for model files.
+    pub model_path: String,
+    /// Phase label in job names and reports ("ic" or "topoff").
+    pub phase: &'static str,
+    /// Charge the one-time job-chain startup overhead at the beginning.
+    pub charge_startup: bool,
+}
+
+impl Default for IcOptions {
+    fn default() -> Self {
+        IcOptions {
+            max_iterations: None,
+            timing: Timing::default_analytic(),
+            group: None,
+            reducers: 0,
+            model_path: "/pic/model".into(),
+            phase: "ic",
+            charge_startup: true,
+        }
+    }
+}
+
+/// Run the conventional IC computation of `app` over `data` from the
+/// starting model `init`.
+pub fn run_ic<A: IterativeApp>(
+    engine: &Engine,
+    app: &A,
+    data: &Dataset<A::Record>,
+    init: A::Model,
+    opts: &IcOptions,
+) -> IcReport<A::Model> {
+    let spec = engine.spec();
+    let group = opts.group.clone().unwrap_or(0..spec.nodes);
+    assert!(
+        !group.is_empty() && group.end <= spec.nodes,
+        "bad node group"
+    );
+    let reducers = if opts.reducers == 0 {
+        group.len()
+    } else {
+        opts.reducers
+    };
+
+    if opts.charge_startup {
+        // One-time startup; per-iteration job re-creation is excluded, as
+        // in the paper's adjusted baseline (§V.A).
+        engine.advance(spec.job_overhead_s);
+    }
+
+    let run_t0 = engine.now();
+    let run_traffic0 = engine.traffic();
+    let max_iterations = opts.max_iterations.unwrap_or_else(|| app.max_iterations());
+    assert!(max_iterations > 0, "need at least one iteration");
+
+    let mut scope = IterScope {
+        group: group.clone(),
+        timing: opts.timing.clone(),
+        iteration: 1,
+        phase: opts.phase,
+        reducers,
+    };
+
+    let mut model = init;
+    let mut trajectory = Vec::new();
+    if let Some(e) = app.error(&model) {
+        trajectory.push(TrajectoryPoint {
+            t_s: engine.now() - run_t0,
+            error: e,
+        });
+    }
+
+    let mut per_iteration = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+    let model_file = format!("{}/{}.model", opts.model_path, app.name());
+
+    while iterations < max_iterations {
+        let it_t0 = engine.now();
+        let it_traffic0 = engine.traffic();
+
+        // Ship the current model to the group's tasks.
+        match app.model_fanout() {
+            crate::app::ModelFanout::Replicated => {
+                engine.broadcast_model(model.byte_size(), &scope.group)
+            }
+            crate::app::ModelFanout::Partitioned => {
+                engine.scatter_model(model.byte_size(), &scope.group)
+            }
+        }
+
+        // The data-parallel refinement (one or more MapReduce jobs).
+        let next = app.iterate(engine, data, &model, &scope);
+
+        // Persist the refined model to the replicated DFS.
+        engine.write_model(
+            &model_file,
+            next.byte_size(),
+            scope.group.start,
+            TrafficClass::ModelUpdate,
+        );
+
+        iterations += 1;
+        per_iteration.push(IterationStats {
+            time_s: engine.now() - it_t0,
+            traffic: engine.traffic().delta_since(&it_traffic0),
+        });
+        if let Some(e) = app.error(&next) {
+            trajectory.push(TrajectoryPoint {
+                t_s: engine.now() - run_t0,
+                error: e,
+            });
+        }
+
+        let done = app.converged(&model, &next);
+        model = next;
+        if done {
+            converged = true;
+            break;
+        }
+        scope = scope.next_iteration();
+    }
+
+    IcReport {
+        final_model: model,
+        iterations,
+        converged,
+        total_time_s: engine.now() - run_t0,
+        traffic: engine.traffic().delta_since(&run_traffic0),
+        per_iteration,
+        trajectory,
+    }
+}

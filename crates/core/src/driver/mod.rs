@@ -1,0 +1,7 @@
+//! Execution drivers: the conventional IC loop and the two-phase PIC run.
+
+mod ic;
+mod pic;
+
+pub use ic::{run_ic, IcOptions};
+pub use pic::{run_pic, PicOptions};

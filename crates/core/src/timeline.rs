@@ -1,0 +1,137 @@
+//! ASCII timelines of IC and PIC runs — a quick visual of where simulated
+//! time goes, in the spirit of the paper's Fig. 2 stacked bars.
+
+use crate::report::{IcReport, PicReport};
+
+/// Width of the rendered bar area, in characters.
+const BAR_WIDTH: usize = 60;
+
+/// Render one labelled bar: `label |████░░| t`.
+fn bar(label: &str, seconds: f64, total: f64, fill: char) -> String {
+    let frac = if total > 0.0 { (seconds / total).clamp(0.0, 1.0) } else { 0.0 };
+    let n = (frac * BAR_WIDTH as f64).round() as usize;
+    format!(
+        "{label:<14} |{}{}| {:>8.1}s",
+        fill.to_string().repeat(n),
+        " ".repeat(BAR_WIDTH - n),
+        seconds
+    )
+}
+
+/// Render an IC run as one bar plus its per-iteration tick row.
+pub fn ic_timeline<M>(r: &IcReport<M>) -> String {
+    let mut out = String::new();
+    out.push_str(&bar("IC total", r.total_time_s, r.total_time_s, '#'));
+    out.push('\n');
+    // Tick row: one mark per iteration, spaced by simulated duration.
+    let mut ticks = vec![' '; BAR_WIDTH];
+    let mut acc = 0.0;
+    for it in &r.per_iteration {
+        acc += it.time_s;
+        let pos = ((acc / r.total_time_s.max(1e-12)) * BAR_WIDTH as f64) as usize;
+        if pos < BAR_WIDTH {
+            ticks[pos] = '|';
+        }
+    }
+    out.push_str(&format!(
+        "{:<14} |{}| {} iterations\n",
+        "  iterations",
+        ticks.into_iter().collect::<String>(),
+        r.iterations
+    ));
+    out
+}
+
+/// Render a PIC run as stacked best-effort and top-off bars against the
+/// same time axis, plus a comparison line when the IC total is given.
+pub fn pic_timeline<M>(r: &PicReport<M>, ic_total_s: Option<f64>) -> String {
+    let axis = ic_total_s.unwrap_or(r.total_time_s).max(r.total_time_s);
+    let mut out = String::new();
+    if let Some(ic) = ic_total_s {
+        out.push_str(&bar("IC total", ic, axis, '#'));
+        out.push('\n');
+    }
+    out.push_str(&bar("PIC best-effort", r.be_time_s, axis, '='));
+    out.push_str(&format!("  ({} rounds)\n", r.be_iterations));
+    out.push_str(&bar("PIC top-off", r.topoff_time_s, axis, '+'));
+    out.push_str(&format!("  ({} iterations)\n", r.topoff_iterations));
+    out.push_str(&bar("PIC total", r.total_time_s, axis, '*'));
+    out.push('\n');
+    if let Some(ic) = ic_total_s {
+        out.push_str(&format!("speedup: {:.2}x\n", ic / r.total_time_s.max(1e-12)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{IterationStats, TrajectoryPoint};
+    use pic_simnet::traffic::TrafficSnapshot;
+
+    fn ic_report(iters: usize, per_iter: f64) -> IcReport<()> {
+        IcReport {
+            final_model: (),
+            iterations: iters,
+            converged: true,
+            total_time_s: iters as f64 * per_iter,
+            traffic: TrafficSnapshot::default(),
+            per_iteration: (0..iters)
+                .map(|_| IterationStats { time_s: per_iter, traffic: TrafficSnapshot::default() })
+                .collect(),
+            trajectory: vec![TrajectoryPoint { t_s: 0.0, error: 1.0 }],
+        }
+    }
+
+    fn pic_report(be: f64, topoff: f64) -> PicReport<()> {
+        PicReport {
+            final_model: (),
+            be_model: (),
+            be_iterations: 3,
+            local_iterations: vec![vec![5], vec![2], vec![2]],
+            topoff_iterations: 4,
+            topoff_converged: true,
+            be_time_s: be,
+            topoff_time_s: topoff,
+            total_time_s: be + topoff,
+            be_traffic: TrafficSnapshot::default(),
+            topoff_traffic: TrafficSnapshot::default(),
+            trajectory: vec![],
+            be_final_error: None,
+            straggler_drops: 0,
+        }
+    }
+
+    #[test]
+    fn ic_timeline_renders_full_bar() {
+        let out = ic_timeline(&ic_report(10, 2.0));
+        assert!(out.contains("IC total"));
+        assert!(out.contains("10 iterations"));
+        let bar_line = out.lines().next().unwrap();
+        assert_eq!(bar_line.matches('#').count(), BAR_WIDTH);
+    }
+
+    #[test]
+    fn pic_timeline_scales_to_ic_axis() {
+        let out = pic_timeline(&pic_report(5.0, 5.0), Some(40.0));
+        // PIC total is a quarter of IC: bar should be ~15 chars.
+        let total_line = out.lines().find(|l| l.starts_with("PIC total")).unwrap();
+        let n = total_line.matches('*').count();
+        assert!((14..=16).contains(&n), "bar width {n}");
+        assert!(out.contains("speedup: 4.00x"));
+    }
+
+    #[test]
+    fn pic_timeline_without_baseline_uses_own_axis() {
+        let out = pic_timeline(&pic_report(3.0, 1.0), None);
+        assert!(!out.contains("speedup"));
+        let total_line = out.lines().find(|l| l.starts_with("PIC total")).unwrap();
+        assert_eq!(total_line.matches('*').count(), BAR_WIDTH);
+    }
+
+    #[test]
+    fn zero_time_runs_do_not_panic() {
+        let out = pic_timeline(&pic_report(0.0, 0.0), Some(0.0));
+        assert!(out.contains("PIC total"));
+    }
+}

@@ -1,0 +1,352 @@
+//! The DFS namespace: files, blocks, reads, writes, and their cost.
+
+use crate::placement::BlockPlacement;
+use crate::split::{even_ranges, InputSplit};
+use crate::DEFAULT_BLOCK_SIZE;
+use parking_lot::RwLock;
+use pic_simnet::topology::{ClusterSpec, NodeId};
+use pic_simnet::traffic::{TrafficClass, TrafficLedger};
+use pic_simnet::transfer;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Errors from namespace operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// The path does not exist.
+    NotFound(String),
+    /// The path already exists (writes never overwrite implicitly).
+    AlreadyExists(String),
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::NotFound(p) => write!(f, "dfs: path not found: {p}"),
+            DfsError::AlreadyExists(p) => write!(f, "dfs: path already exists: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// Metadata for one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Logical size in bytes.
+    pub size: u64,
+    /// Per-block replica locations, in block order.
+    pub blocks: Vec<Vec<NodeId>>,
+}
+
+/// The simulated file system. Cheap to clone handles around the engine:
+/// state is behind an `Arc<RwLock>`.
+#[derive(Debug, Clone)]
+pub struct Dfs {
+    spec: Arc<ClusterSpec>,
+    ledger: Arc<TrafficLedger>,
+    block_size: u64,
+    placement: BlockPlacement,
+    files: Arc<RwLock<HashMap<String, FileMeta>>>,
+}
+
+impl Dfs {
+    /// A DFS over `spec`, accounting into `ledger`, with the default 64 MiB
+    /// block size and placement seed 0.
+    pub fn new(spec: Arc<ClusterSpec>, ledger: Arc<TrafficLedger>) -> Self {
+        Self::with_block_size(spec, ledger, DEFAULT_BLOCK_SIZE, 0)
+    }
+
+    /// A DFS with explicit block size and placement seed.
+    ///
+    /// # Panics
+    /// Panics if `block_size == 0`.
+    pub fn with_block_size(
+        spec: Arc<ClusterSpec>,
+        ledger: Arc<TrafficLedger>,
+        block_size: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        Dfs {
+            spec,
+            ledger,
+            block_size,
+            placement: BlockPlacement::new(seed),
+            files: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// The cluster this DFS runs on.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The shared traffic ledger.
+    pub fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    /// Create `path` with `bytes` of content written from `writer`,
+    /// charged to traffic class `class` (use [`TrafficClass::DfsWrite`] for
+    /// job output, [`TrafficClass::ModelUpdate`] for model writes —
+    /// distinguishing them is how Table II gets its two rows). Returns the
+    /// simulated seconds the write pipeline takes.
+    pub fn create(
+        &self,
+        path: &str,
+        bytes: u64,
+        writer: NodeId,
+        class: TrafficClass,
+    ) -> Result<f64, DfsError> {
+        {
+            let files = self.files.read();
+            if files.contains_key(path) {
+                return Err(DfsError::AlreadyExists(path.to_string()));
+            }
+        }
+        let n_blocks = bytes.div_ceil(self.block_size).max(1);
+        let mut blocks = Vec::with_capacity(n_blocks as usize);
+        for b in 0..n_blocks {
+            blocks.push(self.placement.place(&self.spec, path, b, writer));
+        }
+        // Traffic: every byte is written replication× (1 local + the rest
+        // over the network, HDFS pipeline). The ledger class receives the
+        // *full* replicated volume, matching how Hadoop counters report
+        // "bytes written".
+        let copies = self.spec.replication.min(self.spec.nodes) as u64;
+        self.ledger.add(class, bytes * copies);
+        let (secs, _net) = transfer::dfs_write(&self.spec, bytes);
+        self.files.write().insert(
+            path.to_string(),
+            FileMeta {
+                size: bytes,
+                blocks,
+            },
+        );
+        Ok(secs)
+    }
+
+    /// Replace `path` (delete + create). Model files are overwritten every
+    /// iteration, so this is the common write path for drivers.
+    pub fn overwrite(&self, path: &str, bytes: u64, writer: NodeId, class: TrafficClass) -> f64 {
+        self.files.write().remove(path);
+        self.create(path, bytes, writer, class)
+            .expect("create after remove cannot collide")
+    }
+
+    /// Read the whole of `path` from `reader`. Node-local replicas cost
+    /// disk time only; otherwise the read crosses the network and is
+    /// charged to [`TrafficClass::DfsRead`]. Returns simulated seconds.
+    pub fn read(&self, path: &str, reader: NodeId) -> Result<f64, DfsError> {
+        let files = self.files.read();
+        let meta = files
+            .get(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        let mut secs = 0.0;
+        let mut remaining = meta.size;
+        for replicas in &meta.blocks {
+            let blk = remaining.min(self.block_size);
+            remaining -= blk;
+            if replicas.contains(&reader) {
+                secs += transfer::local_disk_s(&self.spec, blk);
+            } else {
+                let src = replicas.first().copied().unwrap_or(reader);
+                self.ledger.add(TrafficClass::DfsRead, blk);
+                secs += transfer::point_to_point_s(&self.spec, src, reader, blk);
+            }
+        }
+        Ok(secs)
+    }
+
+    /// Logical size of `path`.
+    pub fn len(&self, path: &str) -> Result<u64, DfsError> {
+        self.files
+            .read()
+            .get(path)
+            .map(|m| m.size)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))
+    }
+
+    /// True if `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    /// Remove `path`; `Ok` even if it did not exist is deliberate (HDFS
+    /// `delete` semantics with `recursive=false` on a file).
+    pub fn delete(&self, path: &str) {
+        self.files.write().remove(path);
+    }
+
+    /// Number of files in the namespace.
+    pub fn file_count(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// Compute `n` input splits for `path`, each annotated with the hosts
+    /// of the block its midpoint falls in.
+    pub fn splits(&self, path: &str, n: usize) -> Result<Vec<InputSplit>, DfsError> {
+        let files = self.files.read();
+        let meta = files
+            .get(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        let ranges = even_ranges(meta.size, n);
+        Ok(ranges
+            .into_iter()
+            .map(|(offset, len)| {
+                let mid = offset + len / 2;
+                let block = (mid / self.block_size) as usize;
+                let hosts = meta
+                    .blocks
+                    .get(block.min(meta.blocks.len().saturating_sub(1)))
+                    .cloned()
+                    .unwrap_or_default();
+                InputSplit { offset, len, hosts }
+            })
+            .collect())
+    }
+
+    /// Full metadata for `path` (used by tests and reports).
+    pub fn stat(&self, path: &str) -> Result<FileMeta, DfsError> {
+        self.files
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(spec: ClusterSpec) -> (Dfs, Arc<TrafficLedger>) {
+        let ledger = Arc::new(TrafficLedger::new());
+        (Dfs::new(Arc::new(spec), Arc::clone(&ledger)), ledger)
+    }
+
+    #[test]
+    fn create_read_roundtrip() {
+        let (dfs, _l) = mk(ClusterSpec::small());
+        let secs = dfs
+            .create("/in/points", 1_000_000, 0, TrafficClass::DfsWrite)
+            .unwrap();
+        assert!(secs > 0.0);
+        assert!(dfs.exists("/in/points"));
+        assert_eq!(dfs.len("/in/points").unwrap(), 1_000_000);
+        let rsecs = dfs.read("/in/points", 0).unwrap();
+        assert!(rsecs > 0.0);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let (dfs, _l) = mk(ClusterSpec::small());
+        dfs.create("/f", 10, 0, TrafficClass::DfsWrite).unwrap();
+        assert_eq!(
+            dfs.create("/f", 10, 0, TrafficClass::DfsWrite),
+            Err(DfsError::AlreadyExists("/f".into()))
+        );
+    }
+
+    #[test]
+    fn missing_read_errors() {
+        let (dfs, _l) = mk(ClusterSpec::small());
+        assert!(matches!(dfs.read("/nope", 0), Err(DfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn write_charges_replicated_bytes() {
+        let (dfs, l) = mk(ClusterSpec::small()); // replication 3
+        dfs.create("/f", 1000, 0, TrafficClass::DfsWrite).unwrap();
+        assert_eq!(l.get(TrafficClass::DfsWrite), 3000);
+    }
+
+    #[test]
+    fn model_write_charges_model_class() {
+        let (dfs, l) = mk(ClusterSpec::small());
+        dfs.create("/model", 500, 2, TrafficClass::ModelUpdate)
+            .unwrap();
+        assert_eq!(l.get(TrafficClass::ModelUpdate), 1500);
+        assert_eq!(l.get(TrafficClass::DfsWrite), 0);
+    }
+
+    #[test]
+    fn local_read_is_free_of_network() {
+        let (dfs, l) = mk(ClusterSpec::small());
+        dfs.create("/f", 1000, 3, TrafficClass::DfsWrite).unwrap();
+        // Node 3 holds the first replica of every block.
+        dfs.read("/f", 3).unwrap();
+        assert_eq!(l.get(TrafficClass::DfsRead), 0);
+    }
+
+    #[test]
+    fn remote_read_charges_network() {
+        let (dfs, l) = mk(ClusterSpec::small());
+        dfs.create("/f", 1000, 0, TrafficClass::DfsWrite).unwrap();
+        // Find a node holding no replica of block 0.
+        let meta = dfs.stat("/f").unwrap();
+        let holder: Vec<NodeId> = meta.blocks[0].clone();
+        let outsider = (0..6).find(|n| !holder.contains(n)).unwrap();
+        dfs.read("/f", outsider).unwrap();
+        assert_eq!(l.get(TrafficClass::DfsRead), 1000);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let (dfs, _l) = mk(ClusterSpec::small());
+        dfs.create("/m", 100, 0, TrafficClass::ModelUpdate).unwrap();
+        dfs.overwrite("/m", 250, 1, TrafficClass::ModelUpdate);
+        assert_eq!(dfs.len("/m").unwrap(), 250);
+    }
+
+    #[test]
+    fn multi_block_files_place_every_block() {
+        let ledger = Arc::new(TrafficLedger::new());
+        let dfs = Dfs::with_block_size(
+            Arc::new(ClusterSpec::medium()),
+            ledger,
+            1024, // tiny blocks to force many
+            7,
+        );
+        dfs.create("/big", 10_000, 0, TrafficClass::DfsWrite)
+            .unwrap();
+        let meta = dfs.stat("/big").unwrap();
+        assert_eq!(meta.blocks.len(), 10);
+        for b in &meta.blocks {
+            assert_eq!(b.len(), 3);
+        }
+    }
+
+    #[test]
+    fn splits_cover_file_and_carry_hosts() {
+        let (dfs, _l) = mk(ClusterSpec::medium());
+        dfs.create("/in", 1_000_000, 5, TrafficClass::DfsWrite)
+            .unwrap();
+        let splits = dfs.splits("/in", 8).unwrap();
+        assert_eq!(splits.len(), 8);
+        let total: u64 = splits.iter().map(|s| s.len).sum();
+        assert_eq!(total, 1_000_000);
+        for s in &splits {
+            assert!(!s.hosts.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_file_still_has_one_block() {
+        let (dfs, _l) = mk(ClusterSpec::small());
+        dfs.create("/empty", 0, 0, TrafficClass::DfsWrite).unwrap();
+        let meta = dfs.stat("/empty").unwrap();
+        assert_eq!(meta.blocks.len(), 1);
+        assert_eq!(dfs.read("/empty", 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn delete_then_exists_false() {
+        let (dfs, _l) = mk(ClusterSpec::small());
+        dfs.create("/f", 10, 0, TrafficClass::DfsWrite).unwrap();
+        dfs.delete("/f");
+        assert!(!dfs.exists("/f"));
+        dfs.delete("/f"); // idempotent
+    }
+}

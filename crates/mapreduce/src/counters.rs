@@ -1,0 +1,86 @@
+//! Named job counters, Hadoop-style.
+//!
+//! Each task accumulates counters locally (no contention on the hot path);
+//! the engine merges them into the job's [`crate::stats::JobStats`] after
+//! the parallel phase completes.
+
+use std::collections::BTreeMap;
+
+/// A set of named monotonically increasing counters.
+///
+/// `BTreeMap` keeps report output deterministic and sorted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    inner: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to `name` (creating it at zero).
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.inner.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Current value of `name` (zero if never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in &other.inner {
+            *self.inner.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.inner.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// True when no counter was ever incremented.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incr_and_get() {
+        let mut c = Counters::new();
+        c.incr("a", 1);
+        c.incr("a", 2);
+        assert_eq!(c.get("a"), 3);
+        assert_eq!(c.get("missing"), 0);
+    }
+
+    #[test]
+    fn merge_sums_by_name() {
+        let mut a = Counters::new();
+        a.incr("x", 1);
+        a.incr("y", 10);
+        let mut b = Counters::new();
+        b.incr("y", 5);
+        b.incr("z", 7);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("y"), 15);
+        assert_eq!(a.get("z"), 7);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut c = Counters::new();
+        c.incr("b", 1);
+        c.incr("a", 1);
+        let names: Vec<_> = c.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,763 @@
+//! The MapReduce execution engine.
+
+use crate::dataset::Dataset;
+use crate::job::{JobConfig, Timing};
+use crate::kv;
+use crate::stats::{JobResult, JobStats};
+use crate::traits::{Combiner, DynCombiner, MapContext, Mapper, ReduceContext, Reducer};
+use parking_lot::Mutex;
+use pic_dfs::Dfs;
+use pic_simnet::scheduler::{Locality, SlotScheduler, TaskSpec};
+use pic_simnet::topology::{ClusterSpec, NodeId};
+use pic_simnet::traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};
+use pic_simnet::{transfer, SimClock};
+use rayon::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The engine: a simulated cluster plus the machinery to run typed
+/// MapReduce jobs on it. Clone-cheap handles are not provided on purpose —
+/// experiments own one engine and thread `&Engine` through.
+pub struct Engine {
+    spec: Arc<ClusterSpec>,
+    ledger: Arc<TrafficLedger>,
+    dfs: Dfs,
+    clock: Mutex<SimClock>,
+}
+
+impl Engine {
+    /// An engine over `spec` with a fresh DFS, ledger and clock.
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation.
+    pub fn new(spec: ClusterSpec) -> Self {
+        spec.validate().expect("invalid cluster spec");
+        let spec = Arc::new(spec);
+        let ledger = Arc::new(TrafficLedger::new());
+        let dfs = Dfs::new(Arc::clone(&spec), Arc::clone(&ledger));
+        Engine {
+            spec,
+            ledger,
+            dfs,
+            clock: Mutex::new(SimClock::new()),
+        }
+    }
+
+    /// The cluster description.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The byte-exact traffic ledger.
+    pub fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    /// The simulated file system.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock.lock().now()
+    }
+
+    /// Advance simulated time (drivers use this for driver-side work).
+    pub fn advance(&self, dt: f64) {
+        self.clock.lock().advance(dt);
+    }
+
+    /// Reset clock and ledger (between independent experiments).
+    pub fn reset(&self) {
+        self.clock.lock().reset();
+        self.ledger.reset();
+    }
+
+    /// Snapshot the ledger (for per-phase deltas).
+    pub fn traffic(&self) -> TrafficSnapshot {
+        self.ledger.snapshot()
+    }
+
+    /// Write (or overwrite) a model file of `bytes` to the DFS, charged to
+    /// `class`, advancing the clock by the write-pipeline time. Replication
+    /// multiplies the charged bytes, per the paper's model-update
+    /// bottleneck.
+    pub fn write_model(&self, path: &str, bytes: u64, writer: NodeId, class: TrafficClass) {
+        let secs = self.dfs.overwrite(path, bytes, writer, class);
+        self.advance(secs);
+    }
+
+    /// Broadcast `bytes` of model to every node of `group` (distributed
+    /// cache style), charging [`TrafficClass::Broadcast`] and advancing the
+    /// clock.
+    pub fn broadcast_model(&self, bytes: u64, group: &std::ops::Range<NodeId>) {
+        let (secs, net) = transfer::broadcast(&self.spec, group.len(), bytes);
+        self.ledger.add(TrafficClass::Broadcast, net);
+        self.advance(secs);
+    }
+
+    /// Distribute a *sliced* model of `bytes` total to the nodes of
+    /// `group`: each node pulls only its own slice, so total network
+    /// volume is `bytes` (not `m × bytes`), bounded by the replicas'
+    /// aggregate serving bandwidth and the largest single slice.
+    pub fn scatter_model(&self, bytes: u64, group: &std::ops::Range<NodeId>) {
+        let m = group.len().max(1) as u64;
+        if bytes == 0 {
+            return;
+        }
+        self.ledger.add(TrafficClass::Broadcast, bytes);
+        let slice = bytes / m;
+        let servers_bw = self.spec.replication as f64 * self.spec.nic_bw;
+        let secs = (slice as f64 / self.spec.nic_bw).max(bytes as f64 / servers_bw);
+        self.advance(secs);
+    }
+
+    /// Gather `m` sub-models of `bytes_each` onto one node (PIC merge
+    /// collection), charging [`TrafficClass::Merge`].
+    pub fn gather_models(&self, m: usize, bytes_each: u64) {
+        let (secs, net) = transfer::gather(&self.spec, m, bytes_each);
+        self.ledger.add(TrafficClass::Merge, net);
+        self.advance(secs);
+    }
+
+    /// Run a job without a combiner.
+    pub fn run<M, R>(
+        &self,
+        cfg: &JobConfig,
+        input: &Dataset<M::In>,
+        mapper: &M,
+        reducer: &R,
+    ) -> JobResult<R::Out>
+    where
+        M: Mapper,
+        R: Reducer<K = M::K, V = M::V>,
+    {
+        self.run_inner(cfg, input, mapper, None, reducer)
+    }
+
+    /// Run a job with a combiner applied to each map task's output before
+    /// the shuffle.
+    pub fn run_with_combiner<M, C, R>(
+        &self,
+        cfg: &JobConfig,
+        input: &Dataset<M::In>,
+        mapper: &M,
+        combiner: &C,
+        reducer: &R,
+    ) -> JobResult<R::Out>
+    where
+        M: Mapper,
+        C: Combiner<K = M::K, V = M::V>,
+        R: Reducer<K = M::K, V = M::V>,
+    {
+        self.run_inner(
+            cfg,
+            input,
+            mapper,
+            Some(combiner as &dyn DynCombiner<M::K, M::V>),
+            reducer,
+        )
+    }
+
+    /// Run a map-only job (zero reducers, Hadoop style): mappers execute
+    /// over the input and their emissions are returned directly, in split
+    /// order. There is no combine, no spill, no shuffle and no reduce;
+    /// output is *not* written to the DFS (callers that persist output —
+    /// e.g. a model — charge that write themselves).
+    pub fn run_map_only<M>(
+        &self,
+        cfg: &JobConfig,
+        input: &Dataset<M::In>,
+        mapper: &M,
+    ) -> JobResult<(M::K, M::V)>
+    where
+        M: Mapper,
+    {
+        let group = cfg.node_group.clone().unwrap_or(0..self.spec.nodes);
+        assert!(
+            !group.is_empty() && group.end <= self.spec.nodes,
+            "bad node group"
+        );
+
+        let mut stats = JobStats {
+            name: cfg.name.clone(),
+            map_tasks: input.splits.len(),
+            reduce_tasks: 0,
+            ..Default::default()
+        };
+
+        let map_outs: Vec<(Vec<(M::K, M::V)>, crate::counters::Counters, f64, usize)> = input
+            .splits
+            .par_iter()
+            .map(|split| {
+                let t0 = Instant::now();
+                let mut ctx = MapContext::new();
+                for r in &split.records {
+                    mapper.map(r, &mut ctx);
+                }
+                let (pairs, counters) = ctx.into_parts();
+                (
+                    pairs,
+                    counters,
+                    t0.elapsed().as_secs_f64(),
+                    split.records.len(),
+                )
+            })
+            .collect();
+
+        let map_tasks: Vec<TaskSpec> = map_outs
+            .iter()
+            .zip(&input.splits)
+            .map(|((_, _, host_secs, records), split)| {
+                let duration = match cfg.timing {
+                    Timing::Measured { scale } => host_secs * scale,
+                    Timing::PerRecord { map_secs, .. } => *records as f64 * map_secs,
+                };
+                TaskSpec {
+                    duration_s: duration,
+                    preferred_nodes: split.hosts.clone(),
+                    input_bytes: split.bytes,
+                }
+            })
+            .collect();
+        let outcome = SlotScheduler::new(&self.spec).schedule(
+            &map_tasks,
+            self.spec.map_slots_per_node(),
+            group,
+        );
+        stats.map_time_s = outcome.makespan_s;
+        stats.map_waves = outcome.waves;
+        stats.node_local_tasks = outcome.node_local;
+        stats.rack_local_tasks = outcome.rack_local;
+        stats.remote_tasks = outcome.remote;
+
+        let mut output = Vec::new();
+        for (pairs, counters, _, records) in map_outs {
+            stats.input_records += records as u64;
+            stats.map_output_records += pairs.len() as u64;
+            stats.output_records += pairs.len() as u64;
+            stats.counters.merge(&counters);
+            output.extend(pairs);
+        }
+
+        let overhead = if cfg.charge_job_overhead {
+            self.spec.job_overhead_s
+        } else {
+            0.0
+        };
+        stats.total_time_s = overhead + stats.map_time_s;
+        self.advance(stats.total_time_s);
+
+        JobResult { output, stats }
+    }
+
+    fn run_inner<M, R>(
+        &self,
+        cfg: &JobConfig,
+        input: &Dataset<M::In>,
+        mapper: &M,
+        combiner: Option<&dyn DynCombiner<M::K, M::V>>,
+        reducer: &R,
+    ) -> JobResult<R::Out>
+    where
+        M: Mapper,
+        R: Reducer<K = M::K, V = M::V>,
+    {
+        let group = cfg.node_group.clone().unwrap_or(0..self.spec.nodes);
+        assert!(
+            !group.is_empty() && group.end <= self.spec.nodes,
+            "bad node group"
+        );
+        assert!(cfg.reducers > 0, "jobs need at least one reducer");
+
+        let mut stats = JobStats {
+            name: cfg.name.clone(),
+            map_tasks: input.splits.len(),
+            reduce_tasks: cfg.reducers,
+            ..Default::default()
+        };
+
+        // ---- Map phase: real execution, measured. -----------------------
+        struct MapOut<K, V> {
+            pairs: Vec<(K, V)>,
+            counters: crate::counters::Counters,
+            host_secs: f64,
+            records: usize,
+            raw_pairs: usize,
+            raw_bytes: u64,
+        }
+
+        let map_outs: Vec<MapOut<M::K, M::V>> = input
+            .splits
+            .par_iter()
+            .map(|split| {
+                let t0 = Instant::now();
+                let mut ctx = MapContext::new();
+                for r in &split.records {
+                    mapper.map(r, &mut ctx);
+                }
+                let (mut pairs, counters) = ctx.into_parts();
+                let raw_pairs = pairs.len();
+                let raw_bytes = kv::batch_size(&pairs);
+                if let Some(c) = combiner {
+                    pairs = combine_run(c, pairs);
+                }
+                MapOut {
+                    pairs,
+                    counters,
+                    host_secs: t0.elapsed().as_secs_f64(),
+                    records: split.records.len(),
+                    raw_pairs,
+                    raw_bytes,
+                }
+            })
+            .collect();
+
+        for mo in &map_outs {
+            stats.input_records += mo.records as u64;
+            stats.map_output_records += mo.raw_pairs as u64;
+            stats.map_output_bytes += mo.raw_bytes;
+            stats.shuffle_records += mo.pairs.len() as u64;
+            stats.counters.merge(&mo.counters);
+        }
+        // Raw map output is serialized and spilled to the task's local
+        // disk before the combiner runs — Hadoop's "Map output bytes".
+        self.ledger
+            .add(TrafficClass::MapSpill, stats.map_output_bytes);
+
+        // ---- Map scheduling. --------------------------------------------
+        let map_tasks: Vec<TaskSpec> = map_outs
+            .iter()
+            .zip(&input.splits)
+            .enumerate()
+            .map(|(i, (mo, split))| {
+                let compute = match cfg.timing {
+                    Timing::Measured { scale } => mo.host_secs * scale,
+                    Timing::PerRecord { map_secs, .. } => mo.records as f64 * map_secs,
+                };
+                // Spilling raw map output to local disk is part of the
+                // map task's critical path.
+                let mut duration = compute + mo.raw_bytes as f64 / self.spec.disk_bw;
+                if cfg.map_failures.contains(&i) {
+                    duration *= 2.0; // blind re-execution of the attempt
+                    stats.retried_tasks += 1;
+                }
+                TaskSpec {
+                    duration_s: duration,
+                    preferred_nodes: split.hosts.clone(),
+                    input_bytes: split.bytes,
+                }
+            })
+            .collect();
+
+        let sched = SlotScheduler::new(&self.spec);
+        let map_outcome = sched.schedule(&map_tasks, self.spec.map_slots_per_node(), group.clone());
+        stats.map_time_s = map_outcome.makespan_s;
+        stats.map_waves = map_outcome.waves;
+        stats.node_local_tasks = map_outcome.node_local;
+        stats.rack_local_tasks = map_outcome.rack_local;
+        stats.remote_tasks = map_outcome.remote;
+
+        // Remote/rack-local map inputs travel the network: charge DfsRead.
+        for (i, loc) in map_outcome.locality.iter().enumerate() {
+            if !input.splits[i].hosts.is_empty() && *loc != Locality::NodeLocal {
+                self.ledger
+                    .add(TrafficClass::DfsRead, input.splits[i].bytes);
+            }
+        }
+
+        // ---- Shuffle: byte-exact volume, modelled time. ------------------
+        let shuffle_bytes: u64 = map_outs.iter().map(|mo| kv::batch_size(&mo.pairs)).sum();
+        stats.shuffle_bytes = shuffle_bytes;
+        let shuffle_cost = transfer::shuffle(&self.spec, &group, shuffle_bytes);
+        self.ledger
+            .add(TrafficClass::ShuffleLocal, shuffle_cost.local_bytes);
+        self.ledger
+            .add(TrafficClass::ShuffleRack, shuffle_cost.rack_bytes);
+        self.ledger
+            .add(TrafficClass::ShuffleBisection, shuffle_cost.bisection_bytes);
+        stats.shuffle_time_s = shuffle_cost.seconds;
+
+        // ---- Partition + sort (group by key within each bucket). --------
+        let mut buckets: Vec<BTreeMap<M::K, Vec<M::V>>> =
+            (0..cfg.reducers).map(|_| BTreeMap::new()).collect();
+        for mo in map_outs {
+            for (k, v) in mo.pairs {
+                let b = bucket_of(&k, cfg.reducers);
+                buckets[b].entry(k).or_default().push(v);
+            }
+        }
+
+        // ---- Reduce phase: real execution, measured. ---------------------
+        struct RedOut<O> {
+            out: Vec<O>,
+            counters: crate::counters::Counters,
+            host_secs: f64,
+            values: usize,
+        }
+
+        let red_outs: Vec<RedOut<R::Out>> = buckets
+            .into_par_iter()
+            .map(|bucket| {
+                let t0 = Instant::now();
+                let mut ctx = ReduceContext::new();
+                let mut values = 0usize;
+                for (k, vs) in &bucket {
+                    values += vs.len();
+                    reducer.reduce(k, vs, &mut ctx);
+                }
+                let (out, counters) = ctx.into_parts();
+                RedOut {
+                    out,
+                    counters,
+                    host_secs: t0.elapsed().as_secs_f64(),
+                    values,
+                }
+            })
+            .collect();
+
+        let reduce_tasks: Vec<TaskSpec> = red_outs
+            .iter()
+            .map(|ro| {
+                let duration = match cfg.timing {
+                    Timing::Measured { scale } => ro.host_secs * scale,
+                    Timing::PerRecord { reduce_secs, .. } => ro.values as f64 * reduce_secs,
+                };
+                TaskSpec::compute(duration)
+            })
+            .collect();
+        let red_outcome = sched.schedule(
+            &reduce_tasks,
+            self.spec.reduce_slots_per_node(),
+            group.clone(),
+        );
+        stats.reduce_time_s = red_outcome.makespan_s;
+        stats.reduce_waves = red_outcome.waves;
+
+        // ---- Assemble output + time. -------------------------------------
+        let mut output = Vec::new();
+        for ro in red_outs {
+            stats.output_records += ro.out.len() as u64;
+            stats.counters.merge(&ro.counters);
+            output.extend(ro.out);
+        }
+
+        // Shuffle fully overlaps the map phase (optimized Hadoop baseline,
+        // paper §II); reduce starts when both finish.
+        let overhead = if cfg.charge_job_overhead {
+            self.spec.job_overhead_s
+        } else {
+            0.0
+        };
+        stats.total_time_s =
+            overhead + stats.map_time_s.max(stats.shuffle_time_s) + stats.reduce_time_s;
+        self.advance(stats.total_time_s);
+
+        JobResult { output, stats }
+    }
+}
+
+/// Deterministic reduce-bucket assignment (SipHash with the fixed default
+/// keys — stable across runs and platforms for a given Rust release).
+fn bucket_of<K: Hash>(key: &K, reducers: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % reducers as u64) as usize
+}
+
+/// Sort one map task's output by key and combine each key's run of values.
+fn combine_run<K: Ord + Clone, V>(
+    c: &dyn DynCombiner<K, V>,
+    mut pairs: Vec<(K, V)>,
+) -> Vec<(K, V)> {
+    if pairs.is_empty() {
+        return pairs;
+    }
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out: Vec<(K, V)> = Vec::new();
+    let mut run_key: Option<K> = None;
+    let mut run_vals: Vec<V> = Vec::new();
+    for (k, v) in pairs {
+        match &run_key {
+            Some(rk) if *rk == k => run_vals.push(v),
+            _ => {
+                if let Some(rk) = run_key.take() {
+                    c.combine_dyn(&rk, &mut run_vals);
+                    out.extend(run_vals.drain(..).map(|v| (rk.clone(), v)));
+                }
+                run_key = Some(k);
+                run_vals.push(v);
+            }
+        }
+    }
+    if let Some(rk) = run_key {
+        c.combine_dyn(&rk, &mut run_vals);
+        out.extend(run_vals.into_iter().map(|v| (rk.clone(), v)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{FnCombiner, FnMapper, FnReducer};
+
+    fn word_count_engine() -> Engine {
+        Engine::new(ClusterSpec::small())
+    }
+
+    fn analytic(name: &str) -> JobConfig {
+        JobConfig::new(name).timing(Timing::default_analytic())
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let engine = word_count_engine();
+        let words: Vec<String> = ["a", "b", "a", "c", "b", "a"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let ds = Dataset::create(&engine, "/wc", words, 3);
+        let mapper = FnMapper::new(|w: &String, ctx: &mut MapContext<String, u64>| {
+            ctx.emit(w.clone(), 1);
+        });
+        let reducer = FnReducer::new(
+            |k: &String, vs: &[u64], ctx: &mut ReduceContext<(String, u64)>| {
+                ctx.emit((k.clone(), vs.iter().sum()));
+            },
+        );
+        let res = engine.run(&analytic("wc").reducers(2), &ds, &mapper, &reducer);
+        let mut out = res.output;
+        out.sort();
+        assert_eq!(out, vec![("a".into(), 3), ("b".into(), 2), ("c".into(), 1)]);
+        assert_eq!(res.stats.input_records, 6);
+        assert_eq!(res.stats.map_output_records, 6);
+        assert_eq!(res.stats.output_records, 3);
+        assert!(res.stats.total_time_s > 0.0);
+        assert!(engine.now() > 0.0);
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle() {
+        let engine = word_count_engine();
+        let data: Vec<u64> = (0..1000).collect();
+        let ds = Dataset::create(&engine, "/nums", data, 4);
+        let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| {
+            ctx.emit(*x % 10, 1);
+        });
+        let reducer = FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((*k, vs.iter().sum()));
+        });
+        let combiner = FnCombiner::new(|_k: &u64, vs: &mut Vec<u64>| {
+            let s: u64 = vs.iter().sum();
+            vs.clear();
+            vs.push(s);
+        });
+
+        let plain = engine.run(&analytic("plain"), &ds, &mapper, &reducer);
+        let combined =
+            engine.run_with_combiner(&analytic("comb"), &ds, &mapper, &combiner, &reducer);
+
+        assert_eq!(plain.stats.shuffle_records, 1000);
+        assert_eq!(combined.stats.shuffle_records, 40, "10 keys × 4 map tasks");
+        assert!(combined.stats.shuffle_bytes < plain.stats.shuffle_bytes);
+        // Same answer either way.
+        let mut a = plain.output;
+        let mut b = combined.output;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!((combined.stats.combine_ratio() - 0.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shuffle_traffic_recorded_in_ledger() {
+        let engine = word_count_engine();
+        let ds = Dataset::create(&engine, "/t", (0..100u64).collect(), 2);
+        let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(*x, *x));
+        let reducer =
+            FnReducer::new(|k: &u64, _vs: &[u64], ctx: &mut ReduceContext<u64>| ctx.emit(*k));
+        let before = engine.traffic();
+        let res = engine.run(&analytic("t"), &ds, &mapper, &reducer);
+        let delta = engine.traffic().delta_since(&before);
+        let ledger_total = delta.shuffle_total();
+        let drift = ledger_total.abs_diff(res.stats.shuffle_bytes);
+        assert!(
+            drift <= 2,
+            "ledger {ledger_total} vs stats {}",
+            res.stats.shuffle_bytes
+        );
+    }
+
+    #[test]
+    fn node_group_confines_placement() {
+        let engine = Engine::new(ClusterSpec::medium());
+        let group = 0..8; // rack-local: medium cluster has 11 nodes per rack
+        let ds = Dataset::create_in_group(&engine, "/g", (0..64u64).collect(), 16, group.clone());
+        let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(*x % 4, 1));
+        let reducer = FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((*k, vs.iter().sum()))
+        });
+        let before = engine.traffic();
+        let res = engine.run(
+            &analytic("g").on_group(group).reducers(4),
+            &ds,
+            &mapper,
+            &reducer,
+        );
+        let delta = engine.traffic().delta_since(&before);
+        assert_eq!(
+            delta.get(TrafficClass::ShuffleBisection),
+            0,
+            "rack-local group shuffles must not touch the bisection"
+        );
+        assert_eq!(res.stats.map_tasks, 16);
+        // Greedy FIFO scheduling (Hadoop 0.20's default, no delay
+        // scheduling) lets idle slots steal rack-local tasks, but a
+        // rack-local group keeps every task at worst rack-local.
+        assert!(res.stats.node_local_tasks >= 1);
+        assert_eq!(res.stats.remote_tasks, 0);
+        assert_eq!(res.stats.node_local_tasks + res.stats.rack_local_tasks, 16);
+    }
+
+    #[test]
+    fn injected_failure_retries_and_slows() {
+        let engine = word_count_engine();
+        let ds = Dataset::create(&engine, "/f", (0..100u64).collect(), 4);
+        let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(*x % 2, 1));
+        let reducer = FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((*k, vs.iter().sum()))
+        });
+        let ok = engine.run(&analytic("ok"), &ds, &mapper, &reducer);
+        let failed = engine.run(&analytic("fail").fail_map_task(0), &ds, &mapper, &reducer);
+        assert_eq!(failed.stats.retried_tasks, 1);
+        // Same output despite the failure.
+        let mut a = ok.output;
+        let mut b = failed.output;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_record_timing_is_deterministic() {
+        let engine = word_count_engine();
+        let ds = Dataset::create(&engine, "/d", (0..500u64).collect(), 5);
+        let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(*x % 7, 1));
+        let reducer = FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((*k, vs.iter().sum()))
+        });
+        let a = engine.run(&analytic("d1"), &ds, &mapper, &reducer);
+        let b = engine.run(&analytic("d2"), &ds, &mapper, &reducer);
+        assert_eq!(a.stats.map_time_s, b.stats.map_time_s);
+        assert_eq!(a.stats.total_time_s, b.stats.total_time_s);
+    }
+
+    #[test]
+    fn job_overhead_charged_when_asked() {
+        let engine = word_count_engine();
+        let ds = Dataset::create(&engine, "/o", (0..10u64).collect(), 1);
+        let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(*x, 1));
+        let reducer =
+            FnReducer::new(|k: &u64, _: &[u64], ctx: &mut ReduceContext<u64>| ctx.emit(*k));
+        let plain = engine.run(&analytic("p"), &ds, &mapper, &reducer);
+        let charged = engine.run(&analytic("c").with_job_overhead(), &ds, &mapper, &reducer);
+        let diff = charged.stats.total_time_s - plain.stats.total_time_s;
+        assert!((diff - engine.spec().job_overhead_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_order_is_deterministic() {
+        let engine = word_count_engine();
+        let ds = Dataset::create(&engine, "/ord", (0..200u64).collect(), 8);
+        let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(*x % 13, *x));
+        let reducer = FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((*k, vs.iter().sum()))
+        });
+        let a = engine.run(&analytic("a").reducers(3), &ds, &mapper, &reducer);
+        let b = engine.run(&analytic("b").reducers(3), &ds, &mapper, &reducer);
+        assert_eq!(a.output, b.output, "same bucket-major, key-sorted order");
+    }
+
+    #[test]
+    fn model_write_and_broadcast_charge_classes() {
+        let engine = word_count_engine();
+        engine.write_model("/model", 1000, 0, TrafficClass::ModelUpdate);
+        engine.broadcast_model(1000, &(0..6));
+        engine.gather_models(6, 500);
+        let t = engine.traffic();
+        assert_eq!(t.get(TrafficClass::ModelUpdate), 3000);
+        assert_eq!(t.get(TrafficClass::Broadcast), 6000);
+        assert_eq!(t.get(TrafficClass::Merge), 3000);
+        assert!(engine.now() > 0.0);
+    }
+
+    #[test]
+    fn scatter_model_charges_single_copy() {
+        let engine = word_count_engine();
+        engine.scatter_model(6_000, &(0..6));
+        let t = engine.traffic();
+        assert_eq!(
+            t.get(TrafficClass::Broadcast),
+            6_000,
+            "sliced distribution moves the model once, not once per node"
+        );
+        assert!(engine.now() > 0.0);
+        // Zero bytes is free.
+        let before = engine.now();
+        engine.scatter_model(0, &(0..6));
+        assert_eq!(engine.now(), before);
+    }
+
+    #[test]
+    fn combine_run_groups_all_duplicates() {
+        struct Sum;
+        impl DynCombiner<u64, u64> for Sum {
+            fn combine_dyn(&self, _k: &u64, vs: &mut Vec<u64>) {
+                let s = vs.iter().sum();
+                vs.clear();
+                vs.push(s);
+            }
+        }
+        let pairs = vec![(2u64, 1u64), (1, 10), (2, 2), (1, 20), (3, 5)];
+        let mut out = combine_run(&Sum, pairs);
+        out.sort();
+        assert_eq!(out, vec![(1, 30), (2, 3), (3, 5)]);
+    }
+
+    #[test]
+    fn map_only_job_has_no_shuffle() {
+        let engine = word_count_engine();
+        let ds = Dataset::create(&engine, "/mo", (0..100u64).collect(), 4);
+        let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, f64>| {
+            ctx.emit(*x, *x as f64 * 2.0);
+        });
+        let before = engine.traffic();
+        let res = engine.run_map_only(&analytic("mo"), &ds, &mapper);
+        let delta = engine.traffic().delta_since(&before);
+        assert_eq!(res.output.len(), 100);
+        assert_eq!(delta.shuffle_total(), 0);
+        assert_eq!(delta.get(TrafficClass::MapSpill), 0);
+        assert_eq!(res.stats.reduce_tasks, 0);
+        assert!(res.stats.total_time_s > 0.0);
+        // Output preserves split order.
+        assert_eq!(res.output[0], (0, 0.0));
+        assert_eq!(res.output[99], (99, 198.0));
+    }
+
+    #[test]
+    fn empty_input_runs_clean() {
+        let engine = word_count_engine();
+        let ds = Dataset::create(&engine, "/empty", Vec::<u64>::new(), 2);
+        let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(*x, 1));
+        let reducer =
+            FnReducer::new(|k: &u64, _: &[u64], ctx: &mut ReduceContext<u64>| ctx.emit(*k));
+        let res = engine.run(&analytic("e"), &ds, &mapper, &reducer);
+        assert!(res.output.is_empty());
+        assert_eq!(res.stats.shuffle_bytes, 0);
+    }
+}

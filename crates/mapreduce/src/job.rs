@@ -1,0 +1,143 @@
+//! Job configuration.
+
+use pic_simnet::topology::NodeId;
+
+/// How simulated task durations are derived.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Timing {
+    /// Measure each task's real execution time on the host and scale it by
+    /// `scale` (host-core to simulated-core calibration). Faithful but not
+    /// bit-deterministic across machines; the default for benchmarks.
+    Measured {
+        /// Host-seconds → simulated-seconds factor.
+        scale: f64,
+    },
+    /// Analytic per-record costs. Fully deterministic; the default for
+    /// tests and for experiments that compare *shapes*.
+    PerRecord {
+        /// Simulated seconds of map compute per input record.
+        map_secs: f64,
+        /// Simulated seconds of reduce compute per input value.
+        reduce_secs: f64,
+    },
+}
+
+impl Timing {
+    /// Deterministic timing with costs typical of a lightweight record op
+    /// on 2012 hardware (a few microseconds).
+    pub fn default_analytic() -> Self {
+        Timing::PerRecord {
+            map_secs: 5e-6,
+            reduce_secs: 2e-6,
+        }
+    }
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing::Measured { scale: 1.0 }
+    }
+}
+
+/// Configuration for one MapReduce job.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Job name (prefixes counters in reports).
+    pub name: String,
+    /// Number of reduce tasks. Must be ≥ 1.
+    pub reducers: usize,
+    /// Restrict execution to this contiguous node group (`None` = whole
+    /// cluster). PIC's local iterations run each sub-problem inside its own
+    /// group; shuffle traffic is then charged only within the group.
+    pub node_group: Option<std::ops::Range<NodeId>>,
+    /// Charge the cluster's per-job startup overhead. Defaults to `false`:
+    /// the paper's baseline subtracts repeated job-creation cost (§V.A),
+    /// so iterative drivers leave this off and charge it once per run.
+    pub charge_job_overhead: bool,
+    /// Task-duration model.
+    pub timing: Timing,
+    /// Indices of map tasks whose first attempt fails and is re-executed
+    /// (fault-injection hook; each costs one extra execution).
+    pub map_failures: Vec<usize>,
+}
+
+impl JobConfig {
+    /// A job with `name`, one reducer, whole-cluster execution and
+    /// measured timing.
+    pub fn new(name: impl Into<String>) -> Self {
+        JobConfig {
+            name: name.into(),
+            reducers: 1,
+            node_group: None,
+            charge_job_overhead: false,
+            timing: Timing::default(),
+            map_failures: Vec::new(),
+        }
+    }
+
+    /// Set the reduce task count.
+    pub fn reducers(mut self, n: usize) -> Self {
+        assert!(n > 0, "jobs need at least one reducer");
+        self.reducers = n;
+        self
+    }
+
+    /// Confine the job to a node group.
+    pub fn on_group(mut self, group: std::ops::Range<NodeId>) -> Self {
+        self.node_group = Some(group);
+        self
+    }
+
+    /// Use a specific timing model.
+    pub fn timing(mut self, t: Timing) -> Self {
+        self.timing = t;
+        self
+    }
+
+    /// Charge per-job startup overhead.
+    pub fn with_job_overhead(mut self) -> Self {
+        self.charge_job_overhead = true;
+        self
+    }
+
+    /// Inject a one-shot failure into map task `idx`.
+    pub fn fail_map_task(mut self, idx: usize) -> Self {
+        self.map_failures.push(idx);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let c = JobConfig::new("j");
+        assert_eq!(c.reducers, 1);
+        assert!(c.node_group.is_none());
+        assert!(!c.charge_job_overhead);
+        assert!(c.map_failures.is_empty());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = JobConfig::new("j")
+            .reducers(4)
+            .on_group(2..5)
+            .with_job_overhead()
+            .fail_map_task(1)
+            .timing(Timing::default_analytic());
+        assert_eq!(c.reducers, 4);
+        assert_eq!(c.node_group, Some(2..5));
+        assert!(c.charge_job_overhead);
+        assert_eq!(c.map_failures, vec![1]);
+        assert!(matches!(c.timing, Timing::PerRecord { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reducer")]
+    fn zero_reducers_panics() {
+        JobConfig::new("j").reducers(0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Serialized-size accounting for keys, values and records.
+//!
+//! Table II of the paper reports intermediate-data and model-update volumes
+//! in bytes. To reproduce those rows we need a defensible serialized size
+//! for every key and value that crosses the (simulated) wire. [`ByteSize`]
+//! gives each type its Hadoop-Writable-equivalent encoding size:
+//! fixed-width numerics encode as their width, strings as UTF-8 length,
+//! containers as the sum of elements (+ a 4-byte length prefix), matching
+//! `IntWritable` / `DoubleWritable` / `Text` / `ArrayWritable` conventions.
+
+/// Serialized size, in bytes, of a value as it would cross the wire.
+pub trait ByteSize {
+    /// Encoded size in bytes.
+    fn byte_size(&self) -> u64;
+}
+
+/// Per-record framing overhead the shuffle adds around every key/value
+/// pair (Hadoop's IFile stores two VInts plus sync marks; 8 bytes is the
+/// conventional approximation).
+pub const RECORD_OVERHEAD: u64 = 8;
+
+macro_rules! fixed_width {
+    ($($t:ty => $n:expr),* $(,)?) => {
+        $(impl ByteSize for $t {
+            fn byte_size(&self) -> u64 { $n }
+        })*
+    };
+}
+
+fixed_width! {
+    u8 => 1, i8 => 1,
+    u16 => 2, i16 => 2,
+    u32 => 4, i32 => 4,
+    u64 => 8, i64 => 8,
+    usize => 8, isize => 8,
+    f32 => 4, f64 => 8,
+    bool => 1,
+    () => 0,
+    char => 4,
+}
+
+impl ByteSize for String {
+    fn byte_size(&self) -> u64 {
+        4 + self.len() as u64
+    }
+}
+
+impl ByteSize for &str {
+    fn byte_size(&self) -> u64 {
+        4 + self.len() as u64
+    }
+}
+
+impl<T: ByteSize> ByteSize for Vec<T> {
+    fn byte_size(&self) -> u64 {
+        4 + self.iter().map(ByteSize::byte_size).sum::<u64>()
+    }
+}
+
+impl<T: ByteSize> ByteSize for [T] {
+    fn byte_size(&self) -> u64 {
+        4 + self.iter().map(ByteSize::byte_size).sum::<u64>()
+    }
+}
+
+impl<T: ByteSize, const N: usize> ByteSize for [T; N] {
+    fn byte_size(&self) -> u64 {
+        self.iter().map(ByteSize::byte_size).sum::<u64>()
+    }
+}
+
+impl<T: ByteSize> ByteSize for Option<T> {
+    fn byte_size(&self) -> u64 {
+        1 + self.as_ref().map_or(0, ByteSize::byte_size)
+    }
+}
+
+impl<T: ByteSize + ?Sized> ByteSize for &T {
+    fn byte_size(&self) -> u64 {
+        (**self).byte_size()
+    }
+}
+
+impl<T: ByteSize> ByteSize for Box<T> {
+    fn byte_size(&self) -> u64 {
+        (**self).byte_size()
+    }
+}
+
+impl<K: ByteSize, V: ByteSize> ByteSize for std::collections::HashMap<K, V> {
+    fn byte_size(&self) -> u64 {
+        4 + self
+            .iter()
+            .map(|(k, v)| k.byte_size() + v.byte_size())
+            .sum::<u64>()
+    }
+}
+
+impl<K: ByteSize, V: ByteSize> ByteSize for std::collections::BTreeMap<K, V> {
+    fn byte_size(&self) -> u64 {
+        4 + self
+            .iter()
+            .map(|(k, v)| k.byte_size() + v.byte_size())
+            .sum::<u64>()
+    }
+}
+
+macro_rules! tuple_impl {
+    ($($name:ident),+) => {
+        impl<$($name: ByteSize),+> ByteSize for ($($name,)+) {
+            fn byte_size(&self) -> u64 {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                0 $(+ $name.byte_size())+
+            }
+        }
+    };
+}
+
+tuple_impl!(A);
+tuple_impl!(A, B);
+tuple_impl!(A, B, C);
+tuple_impl!(A, B, C, D);
+tuple_impl!(A, B, C, D, E);
+
+/// Serialized size of one shuffle record (key + value + framing).
+pub fn record_size<K: ByteSize, V: ByteSize>(k: &K, v: &V) -> u64 {
+    k.byte_size() + v.byte_size() + RECORD_OVERHEAD
+}
+
+/// Total serialized size of a batch of records.
+pub fn batch_size<K: ByteSize, V: ByteSize>(pairs: &[(K, V)]) -> u64 {
+    pairs.iter().map(|(k, v)| record_size(k, v)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_widths() {
+        assert_eq!(0u8.byte_size(), 1);
+        assert_eq!(0u32.byte_size(), 4);
+        assert_eq!(0u64.byte_size(), 8);
+        assert_eq!(0.0f64.byte_size(), 8);
+        assert_eq!(true.byte_size(), 1);
+        assert_eq!(().byte_size(), 0);
+    }
+
+    #[test]
+    fn string_is_len_plus_prefix() {
+        assert_eq!("hello".byte_size(), 9);
+        assert_eq!(String::from("").byte_size(), 4);
+    }
+
+    #[test]
+    fn vec_sums_elements() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(v.byte_size(), 4 + 24);
+        let empty: Vec<f64> = vec![];
+        assert_eq!(empty.byte_size(), 4);
+    }
+
+    #[test]
+    fn array_has_no_prefix() {
+        let a = [1.0f64, 2.0, 3.0];
+        assert_eq!(a.byte_size(), 24);
+    }
+
+    #[test]
+    fn tuples_sum() {
+        assert_eq!((1u32, 2.0f64).byte_size(), 12);
+        assert_eq!((1u8, 2u8, 3u8).byte_size(), 3);
+    }
+
+    #[test]
+    fn option_adds_tag() {
+        assert_eq!(Some(7u64).byte_size(), 9);
+        assert_eq!(None::<u64>.byte_size(), 1);
+    }
+
+    #[test]
+    fn record_and_batch() {
+        let pairs = vec![(1u64, 2.0f64), (3, 4.0)];
+        assert_eq!(record_size(&1u64, &2.0f64), 8 + 8 + RECORD_OVERHEAD);
+        assert_eq!(batch_size(&pairs), 2 * (16 + RECORD_OVERHEAD));
+    }
+
+    #[test]
+    fn nested_containers() {
+        let v: Vec<Vec<u8>> = vec![vec![1, 2], vec![3]];
+        assert_eq!(v.byte_size(), 4 + (4 + 2) + (4 + 1));
+    }
+
+    #[test]
+    fn maps_sum_entries() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(1u32, 2.0f64);
+        m.insert(3, 4.0);
+        assert_eq!(m.byte_size(), 4 + 2 * 12);
+        let h: std::collections::HashMap<u32, f64> = m.into_iter().collect();
+        assert_eq!(h.byte_size(), 4 + 2 * 12);
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-job execution statistics.
+
+use crate::counters::Counters;
+
+/// Everything the engine learned while executing one job.
+#[derive(Debug, Clone, Default)]
+pub struct JobStats {
+    /// Job name from the [`crate::job::JobConfig`].
+    pub name: String,
+    /// Number of map tasks (== input splits).
+    pub map_tasks: usize,
+    /// Number of reduce tasks.
+    pub reduce_tasks: usize,
+    /// Map scheduling waves.
+    pub map_waves: usize,
+    /// Reduce scheduling waves.
+    pub reduce_waves: usize,
+    /// Simulated seconds of the map phase (slot makespan).
+    pub map_time_s: f64,
+    /// Simulated seconds the shuffle would take in isolation (it overlaps
+    /// the map phase; `total_time_s` accounts the overlap).
+    pub shuffle_time_s: f64,
+    /// Simulated seconds of the reduce phase.
+    pub reduce_time_s: f64,
+    /// Simulated end-to-end job time (including overheads and overlap).
+    pub total_time_s: f64,
+    /// Input records consumed.
+    pub input_records: u64,
+    /// Pairs emitted by mappers, before combining.
+    pub map_output_records: u64,
+    /// Serialized bytes of raw map output before combining — Hadoop's
+    /// "Map output bytes" counter, the paper's "intermediate data" metric.
+    pub map_output_bytes: u64,
+    /// Pairs that entered the shuffle, after combining.
+    pub shuffle_records: u64,
+    /// Bytes that entered the shuffle (serialized, post-combine).
+    pub shuffle_bytes: u64,
+    /// Records emitted by reducers.
+    pub output_records: u64,
+    /// Map tasks that ran on a node holding their input.
+    pub node_local_tasks: usize,
+    /// Map tasks that ran rack-local to their input.
+    pub rack_local_tasks: usize,
+    /// Map tasks that fetched input across racks.
+    pub remote_tasks: usize,
+    /// Map tasks re-executed after injected failure.
+    pub retried_tasks: usize,
+    /// Merged user counters from all tasks.
+    pub counters: Counters,
+}
+
+/// A job's outputs plus its stats.
+#[derive(Debug, Clone)]
+pub struct JobResult<O> {
+    /// Reducer outputs, concatenated in (reduce bucket, key) order —
+    /// deterministic across runs.
+    pub output: Vec<O>,
+    /// Execution statistics.
+    pub stats: JobStats,
+}
+
+impl JobStats {
+    /// Combiner effectiveness: fraction of map output records eliminated
+    /// before the shuffle (0 = nothing combined).
+    pub fn combine_ratio(&self) -> f64 {
+        if self.map_output_records == 0 {
+            return 0.0;
+        }
+        1.0 - self.shuffle_records as f64 / self.map_output_records as f64
+    }
+
+    /// Fraction of map tasks that achieved node-locality.
+    pub fn locality_ratio(&self) -> f64 {
+        if self.map_tasks == 0 {
+            return 1.0;
+        }
+        self.node_local_tasks as f64 / self.map_tasks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_ratio() {
+        let s = JobStats {
+            map_output_records: 100,
+            shuffle_records: 25,
+            ..Default::default()
+        };
+        assert!((s.combine_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_ratio_empty_job() {
+        assert_eq!(JobStats::default().combine_ratio(), 0.0);
+    }
+
+    #[test]
+    fn locality_ratio() {
+        let s = JobStats {
+            map_tasks: 4,
+            node_local_tasks: 3,
+            ..Default::default()
+        };
+        assert!((s.locality_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(JobStats::default().locality_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! The user-facing MapReduce programming interface.
+//!
+//! Mirrors the classic Hadoop `Mapper` / `Reducer` / `Combiner` classes
+//! that the paper's Figure 4 builds on: `map(d_i, model) -> (key, value)*`
+//! and `reduce(key, iterator<values>) -> output*`, with an optional
+//! combiner that pre-aggregates map output before it is shuffled.
+
+use crate::counters::Counters;
+use crate::kv::ByteSize;
+
+/// Marker bundle for key types: hashable (for partitioning), ordered (for
+/// the sort phase), sized (for traffic accounting), and shareable across
+/// the task pool.
+pub trait Key: std::hash::Hash + Eq + Ord + Clone + Send + Sync + ByteSize {}
+impl<T: std::hash::Hash + Eq + Ord + Clone + Send + Sync + ByteSize> Key for T {}
+
+/// Marker bundle for value and record types.
+pub trait Value: Clone + Send + Sync + ByteSize {}
+impl<T: Clone + Send + Sync + ByteSize> Value for T {}
+
+/// Context handed to [`Mapper::map`]: collects emitted pairs and counter
+/// increments for one task.
+pub struct MapContext<K, V> {
+    pairs: Vec<(K, V)>,
+    counters: Counters,
+}
+
+impl<K, V> MapContext<K, V> {
+    /// An empty context (exposed so applications can unit-test mappers
+    /// directly).
+    pub fn new() -> Self {
+        MapContext {
+            pairs: Vec::new(),
+            counters: Counters::new(),
+        }
+    }
+
+    /// Emit one intermediate key/value pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+
+    /// Increment a named counter (aggregated into the job's
+    /// [`crate::stats::JobStats`]).
+    pub fn incr(&mut self, counter: &str, by: u64) {
+        self.counters.incr(counter, by);
+    }
+
+    /// Number of pairs emitted so far by this task.
+    pub fn emitted(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Consume the context, yielding emitted pairs and counters (for
+    /// direct mapper tests).
+    pub fn into_parts(self) -> (Vec<(K, V)>, Counters) {
+        (self.pairs, self.counters)
+    }
+}
+
+/// Context handed to [`Reducer::reduce`]: collects output records and
+/// counters for one reduce task.
+pub struct ReduceContext<O> {
+    out: Vec<O>,
+    counters: Counters,
+}
+
+impl<O> ReduceContext<O> {
+    /// An empty context (exposed so applications can unit-test reducers
+    /// directly).
+    pub fn new() -> Self {
+        ReduceContext {
+            out: Vec::new(),
+            counters: Counters::new(),
+        }
+    }
+
+    /// Emit one output record.
+    #[inline]
+    pub fn emit(&mut self, record: O) {
+        self.out.push(record);
+    }
+
+    /// Increment a named counter.
+    pub fn incr(&mut self, counter: &str, by: u64) {
+        self.counters.incr(counter, by);
+    }
+
+    /// Consume the context, yielding emitted records and counters (for
+    /// direct reducer tests).
+    pub fn into_parts(self) -> (Vec<O>, Counters) {
+        (self.out, self.counters)
+    }
+}
+
+/// A map function over input records of type [`Mapper::In`].
+///
+/// Shared state (the current model, per the template of the paper's
+/// Fig. 1(a) where `map` receives "one element of input data *and the
+/// model*") lives in the implementing struct, which the engine shares
+/// read-only across all map tasks — exactly how Hadoop ships the model to
+/// mappers via the distributed cache.
+pub trait Mapper: Send + Sync {
+    /// Input record type.
+    type In: Value;
+    /// Intermediate key type.
+    type K: Key;
+    /// Intermediate value type.
+    type V: Value;
+
+    /// Process one input record, emitting zero or more pairs.
+    fn map(&self, record: &Self::In, ctx: &mut MapContext<Self::K, Self::V>);
+}
+
+/// A reduce function over grouped intermediate pairs.
+pub trait Reducer: Send + Sync {
+    /// Intermediate key type (matches the mapper's).
+    type K: Key;
+    /// Intermediate value type (matches the mapper's).
+    type V: Value;
+    /// Output record type.
+    type Out: Value;
+
+    /// Process one key and all its values.
+    fn reduce(&self, key: &Self::K, values: &[Self::V], ctx: &mut ReduceContext<Self::Out>);
+}
+
+/// A combiner pre-aggregates one map task's output for a key before the
+/// shuffle, shrinking intermediate data volume ("use of combiners" is one
+/// of the optimizations the paper grants the baseline, §II).
+pub trait Combiner: Send + Sync {
+    /// Key type.
+    type K: Key;
+    /// Value type (combiners must be type-preserving, as in Hadoop when
+    /// the combiner class is the reducer class).
+    type V: Value;
+
+    /// Shrink `values` in place (typically to a single element).
+    fn combine(&self, key: &Self::K, values: &mut Vec<Self::V>);
+}
+
+/// Object-safe internal adapter so the engine can treat "no combiner" and
+/// "some combiner" uniformly.
+pub(crate) trait DynCombiner<K, V>: Send + Sync {
+    fn combine_dyn(&self, key: &K, values: &mut Vec<V>);
+}
+
+impl<C: Combiner> DynCombiner<C::K, C::V> for C {
+    fn combine_dyn(&self, key: &C::K, values: &mut Vec<C::V>) {
+        self.combine(key, values)
+    }
+}
+
+/// Blanket closure-based mapper for quick jobs and tests.
+pub struct FnMapper<I, K, V, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(&I) -> (K, V)>,
+}
+
+impl<I, K, V, F> FnMapper<I, K, V, F>
+where
+    F: Fn(&I, &mut MapContext<K, V>) + Send + Sync,
+{
+    /// Wrap a closure as a [`Mapper`].
+    pub fn new(f: F) -> Self {
+        FnMapper {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<I, K, V, F> Mapper for FnMapper<I, K, V, F>
+where
+    I: Value,
+    K: Key,
+    V: Value,
+    F: Fn(&I, &mut MapContext<K, V>) + Send + Sync,
+{
+    type In = I;
+    type K = K;
+    type V = V;
+    fn map(&self, record: &I, ctx: &mut MapContext<K, V>) {
+        (self.f)(record, ctx)
+    }
+}
+
+/// Blanket closure-based reducer for quick jobs and tests.
+pub struct FnReducer<K, V, O, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(&K, &V) -> O>,
+}
+
+impl<K, V, O, F> FnReducer<K, V, O, F>
+where
+    F: Fn(&K, &[V], &mut ReduceContext<O>) + Send + Sync,
+{
+    /// Wrap a closure as a [`Reducer`].
+    pub fn new(f: F) -> Self {
+        FnReducer {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<K, V, O, F> Reducer for FnReducer<K, V, O, F>
+where
+    K: Key,
+    V: Value,
+    O: Value,
+    F: Fn(&K, &[V], &mut ReduceContext<O>) + Send + Sync,
+{
+    type K = K;
+    type V = V;
+    type Out = O;
+    fn reduce(&self, key: &K, values: &[V], ctx: &mut ReduceContext<O>) {
+        (self.f)(key, values, ctx)
+    }
+}
+
+/// Blanket closure-based combiner.
+pub struct FnCombiner<K, V, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(&K, &V)>,
+}
+
+impl<K, V, F> FnCombiner<K, V, F>
+where
+    F: Fn(&K, &mut Vec<V>) + Send + Sync,
+{
+    /// Wrap a closure as a [`Combiner`].
+    pub fn new(f: F) -> Self {
+        FnCombiner {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<K, V, F> Combiner for FnCombiner<K, V, F>
+where
+    K: Key,
+    V: Value,
+    F: Fn(&K, &mut Vec<V>) + Send + Sync,
+{
+    type K = K;
+    type V = V;
+    fn combine(&self, key: &K, values: &mut Vec<V>) {
+        (self.f)(key, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_context_collects() {
+        let mut ctx: MapContext<u64, f64> = MapContext::new();
+        ctx.emit(1, 2.0);
+        ctx.emit(3, 4.0);
+        ctx.incr("records", 2);
+        assert_eq!(ctx.emitted(), 2);
+        let (pairs, counters) = ctx.into_parts();
+        assert_eq!(pairs, vec![(1, 2.0), (3, 4.0)]);
+        assert_eq!(counters.get("records"), 2);
+    }
+
+    #[test]
+    fn fn_mapper_works() {
+        let m = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| {
+            ctx.emit(*x % 2, *x);
+        });
+        let mut ctx = MapContext::new();
+        m.map(&7, &mut ctx);
+        assert_eq!(ctx.into_parts().0, vec![(1, 7)]);
+    }
+
+    #[test]
+    fn fn_reducer_works() {
+        let r = FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((*k, vs.iter().sum()));
+        });
+        let mut ctx = ReduceContext::new();
+        r.reduce(&3, &[1, 2, 3], &mut ctx);
+        assert_eq!(ctx.into_parts().0, vec![(3, 6)]);
+    }
+
+    #[test]
+    fn fn_combiner_shrinks() {
+        let c = FnCombiner::new(|_k: &u64, vs: &mut Vec<u64>| {
+            let s = vs.iter().sum();
+            vs.clear();
+            vs.push(s);
+        });
+        let mut vs = vec![1, 2, 3];
+        c.combine(&0, &mut vs);
+        assert_eq!(vs, vec![6]);
+    }
+}

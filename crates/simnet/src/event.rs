@@ -1,0 +1,139 @@
+//! A minimal discrete-event queue.
+//!
+//! Simulated time is `f64` seconds, which is not `Ord`; [`EventQueue`]
+//! wraps it in a total order (NaN is rejected at insert) and breaks ties by
+//! insertion order so that simulations are fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A timestamped event.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    time: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are never NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of `(time, payload)` events with deterministic FIFO tie-breaks.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN or negative.
+    pub fn push(&mut self, time: f64, payload: T) {
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "event time must be finite and >= 0"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Remove and return the earliest event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 0);
+        q.push(1.0, 1);
+        q.push(1.0, 2);
+        assert_eq!(q.pop().unwrap().1, 0);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(5.0, ());
+        assert_eq!(q.peek_time(), Some(5.0));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_time_rejected() {
+        EventQueue::new().push(f64::NAN, ());
+    }
+}

@@ -1,0 +1,44 @@
+//! # pic-simnet — simulated cluster substrate
+//!
+//! The PIC paper (CLUSTER 2012) evaluates on three physical Hadoop clusters:
+//! a 6-node research testbed, a 64-node production cluster and 256 Amazon
+//! Elastic MapReduce instances. This crate is the stand-in for that hardware.
+//!
+//! It provides:
+//!
+//! * [`ClusterSpec`] — a declarative description of a cluster (nodes, cores,
+//!   racks, task slots, NIC / rack-uplink / bisection bandwidths, disk
+//!   bandwidth, startup overheads) with presets mirroring the paper's three
+//!   testbeds ([`ClusterSpec::small`], [`ClusterSpec::medium`],
+//!   [`ClusterSpec::large`]).
+//! * [`SimClock`] — a simulated wall clock in seconds.
+//! * [`TrafficLedger`] — a thread-safe byte ledger split by traffic class
+//!   (shuffle within a node / within a rack / across the bisection, DFS
+//!   reads and writes, model updates, merge traffic). The paper's key claim
+//!   is about exactly these byte counts (its Table II), so they are tracked
+//!   exactly rather than modelled.
+//! * [`transfer`] — analytic transfer-time models (point-to-point,
+//!   all-to-all shuffle, replication pipeline, broadcast/gather) used to
+//!   charge simulated time for the bytes in the ledger.
+//! * [`SlotScheduler`] — a discrete-event simulator that places tasks with
+//!   measured durations onto the cluster's map/reduce slots in waves, with
+//!   data-locality preference, and reports the makespan.
+//!
+//! Real computation happens elsewhere (the `pic-mapreduce` engine runs map
+//! and reduce functions for real on a rayon pool); this crate only answers
+//! "how long would that have taken on the paper's cluster, and how many
+//! bytes crossed which link".
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod event;
+pub mod scheduler;
+pub mod topology;
+pub mod traffic;
+pub mod transfer;
+
+pub use clock::SimClock;
+pub use scheduler::{ScheduleOutcome, SlotScheduler, TaskSpec};
+pub use topology::{ClusterSpec, NodeId, RackId};
+pub use traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};

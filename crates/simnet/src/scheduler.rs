@@ -1,0 +1,416 @@
+//! Discrete-event slot scheduler.
+//!
+//! Hadoop executes a job's tasks in *waves*: the cluster has a fixed number
+//! of map (or reduce) slots, tasks are queued, and the JobTracker assigns a
+//! queued task to a slot the moment the slot frees, preferring tasks whose
+//! input data lives on that slot's node (node-local), then in the same rack
+//! (rack-local), then anything (remote, which pays a network read for its
+//! input). This module simulates exactly that, driven by per-task durations
+//! the MapReduce engine measured while running the task's computation for
+//! real on the host.
+
+use crate::event::EventQueue;
+use crate::topology::{ClusterSpec, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for a scheduling round.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerOptions {
+    /// Per-node duration multipliers for heterogeneous/degraded nodes
+    /// (`(node, factor)`, factor > 1 = slower). Nodes not listed run at
+    /// full speed.
+    pub node_speed: Vec<(NodeId, f64)>,
+    /// Hadoop-style speculative execution: when the pending queue drains
+    /// and a slot frees, re-launch the running task with the latest
+    /// expected completion (if re-running could beat it); the earlier
+    /// finisher wins. At most one backup per task.
+    pub speculative: bool,
+}
+
+impl SchedulerOptions {
+    fn speed_of(&self, node: NodeId) -> f64 {
+        self.node_speed
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, f)| *f)
+            .unwrap_or(1.0)
+    }
+}
+
+/// One task to be placed on the simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// Pure compute time of the task (measured on the host, then scaled by
+    /// the caller to the simulated core speed if desired).
+    pub duration_s: f64,
+    /// Nodes holding a replica of this task's input (empty = no locality
+    /// preference, e.g. reducers).
+    pub preferred_nodes: Vec<NodeId>,
+    /// Bytes of input the task must fetch over the network if it runs on a
+    /// node that holds no replica.
+    pub input_bytes: u64,
+}
+
+impl TaskSpec {
+    /// A task with compute time only, no placement preference.
+    pub fn compute(duration_s: f64) -> Self {
+        TaskSpec {
+            duration_s,
+            preferred_nodes: Vec::new(),
+            input_bytes: 0,
+        }
+    }
+}
+
+/// How a scheduled task's input was reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Locality {
+    /// Ran on a node holding a replica of its input.
+    NodeLocal,
+    /// Ran in the same rack as a replica.
+    RackLocal,
+    /// Had to fetch its input across racks (or had no preference).
+    Remote,
+}
+
+/// Result of scheduling one batch of tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleOutcome {
+    /// Time from first assignment to last completion.
+    pub makespan_s: f64,
+    /// Number of scheduling waves (ceil(tasks / slots) for equal tasks; in
+    /// general the max number of tasks any single slot executed).
+    pub waves: usize,
+    /// Node each task ran on, indexed like the input slice.
+    pub placements: Vec<NodeId>,
+    /// Locality class achieved per task.
+    pub locality: Vec<Locality>,
+    /// Completion time of each task (first finisher when speculated).
+    pub finish_times: Vec<f64>,
+    /// Count of node-local placements.
+    pub node_local: usize,
+    /// Count of rack-local placements.
+    pub rack_local: usize,
+    /// Count of remote placements.
+    pub remote: usize,
+}
+
+/// The slot scheduler for a cluster (or a contiguous node group of it —
+/// PIC's best-effort sub-problems schedule on their own group).
+#[derive(Debug, Clone)]
+pub struct SlotScheduler<'a> {
+    spec: &'a ClusterSpec,
+}
+
+impl<'a> SlotScheduler<'a> {
+    /// A scheduler over `spec`.
+    pub fn new(spec: &'a ClusterSpec) -> Self {
+        SlotScheduler { spec }
+    }
+
+    /// Schedule `tasks` onto `slots_per_node` slots on each node of
+    /// `nodes`, honouring locality preferences, and return the outcome.
+    ///
+    /// Every task is charged `spec.task_overhead_s` startup cost plus a
+    /// remote-read penalty (`input_bytes` over the NIC or rack uplink) when
+    /// it could not be placed near its data.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty or `slots_per_node == 0`.
+    pub fn schedule(
+        &self,
+        tasks: &[TaskSpec],
+        slots_per_node: usize,
+        nodes: std::ops::Range<NodeId>,
+    ) -> ScheduleOutcome {
+        self.schedule_with(tasks, slots_per_node, nodes, &SchedulerOptions::default())
+    }
+
+    /// [`SlotScheduler::schedule`] with explicit [`SchedulerOptions`]
+    /// (heterogeneous node speeds, speculative execution).
+    pub fn schedule_with(
+        &self,
+        tasks: &[TaskSpec],
+        slots_per_node: usize,
+        nodes: std::ops::Range<NodeId>,
+        opts: &SchedulerOptions,
+    ) -> ScheduleOutcome {
+        assert!(!nodes.is_empty(), "cannot schedule on an empty node group");
+        assert!(slots_per_node > 0, "need at least one slot per node");
+        assert!(nodes.end <= self.spec.nodes, "node group exceeds cluster");
+
+        let n_nodes = nodes.len();
+        let n_slots = n_nodes * slots_per_node;
+        let n_tasks = tasks.len();
+        let mut pending: Vec<usize> = (0..n_tasks).collect();
+        let mut placements = vec![0usize; n_tasks];
+        let mut locality = vec![Locality::Remote; n_tasks];
+        let mut per_slot_count = vec![0usize; n_slots];
+        let mut finish_times = vec![0.0f64; n_tasks];
+        let mut completed = vec![false; n_tasks];
+        let mut expected_finish = vec![f64::INFINITY; n_tasks];
+        let mut speculated = vec![false; n_tasks];
+
+        // Compute the launch cost of `task` on `node` and its locality.
+        let launch = |task_idx: usize, node: NodeId, loc: Locality| -> f64 {
+            let t = &tasks[task_idx];
+            let fetch_s = match loc {
+                Locality::NodeLocal => 0.0,
+                Locality::RackLocal => t.input_bytes as f64 / self.spec.nic_bw,
+                Locality::Remote => {
+                    if t.preferred_nodes.is_empty() {
+                        // No preference: input is wherever it needs to be
+                        // (e.g. reducer pulling shuffle output, charged
+                        // separately by the shuffle model).
+                        0.0
+                    } else {
+                        t.input_bytes as f64 / self.spec.nic_bw.min(self.spec.rack_uplink_bw)
+                    }
+                }
+            };
+            self.spec.task_overhead_s + fetch_s + t.duration_s * opts.speed_of(node)
+        };
+
+        // Each slot frees as an event; the payload carries which task (if
+        // any) just finished on it. Slot s lives on node
+        // nodes.start + s / slots_per_node.
+        let mut q: EventQueue<(usize, Option<usize>)> = EventQueue::new();
+        for s in 0..n_slots {
+            q.push(0.0, (s, None));
+        }
+
+        while let Some((now, (slot, finishing))) = q.pop() {
+            if let Some(t) = finishing {
+                if !completed[t] {
+                    completed[t] = true;
+                    finish_times[t] = now;
+                }
+            }
+            let node = nodes.start + slot / slots_per_node;
+            if !pending.is_empty() {
+                // Pick the best pending task for this node: node-local
+                // first, then rack-local, then FIFO head.
+                let (idx_in_pending, loc) = Self::pick_task(self.spec, tasks, &pending, node);
+                let task_idx = pending.swap_remove(idx_in_pending);
+                let finish = now + launch(task_idx, node, loc);
+                placements[task_idx] = node;
+                locality[task_idx] = loc;
+                expected_finish[task_idx] = finish;
+                per_slot_count[slot] += 1;
+                q.push(finish, (slot, Some(task_idx)));
+            } else if opts.speculative {
+                // Back up the straggler with the latest expected finish if
+                // a fresh copy here could plausibly beat it.
+                let candidate = (0..n_tasks)
+                    .filter(|&t| !completed[t] && !speculated[t])
+                    .max_by(|&a, &b| {
+                        expected_finish[a]
+                            .partial_cmp(&expected_finish[b])
+                            .expect("finish times are finite")
+                    });
+                if let Some(t) = candidate {
+                    let loc = Self::locality_on(self.spec, tasks, t, node);
+                    let dup_finish = now + launch(t, node, loc);
+                    if dup_finish + self.spec.task_overhead_s < expected_finish[t] {
+                        speculated[t] = true;
+                        expected_finish[t] = expected_finish[t].min(dup_finish);
+                        per_slot_count[slot] += 1;
+                        q.push(dup_finish, (slot, Some(t)));
+                    }
+                }
+            }
+        }
+
+        let makespan = finish_times.iter().copied().fold(0.0f64, f64::max);
+        let waves = per_slot_count.iter().copied().max().unwrap_or(0);
+        let node_local = locality
+            .iter()
+            .filter(|l| **l == Locality::NodeLocal)
+            .count();
+        let rack_local = locality
+            .iter()
+            .filter(|l| **l == Locality::RackLocal)
+            .count();
+        let remote = locality.len() - node_local - rack_local;
+
+        ScheduleOutcome {
+            makespan_s: makespan,
+            waves,
+            placements,
+            locality,
+            finish_times,
+            node_local,
+            rack_local,
+            remote,
+        }
+    }
+
+    /// Locality class `task` would achieve running on `node`.
+    fn locality_on(spec: &ClusterSpec, tasks: &[TaskSpec], task: usize, node: NodeId) -> Locality {
+        let prefs = &tasks[task].preferred_nodes;
+        if prefs.contains(&node) {
+            Locality::NodeLocal
+        } else if prefs
+            .iter()
+            .any(|&p| p < spec.nodes && spec.same_rack(p, node))
+        {
+            Locality::RackLocal
+        } else {
+            Locality::Remote
+        }
+    }
+
+    /// Choose the index (within `pending`) of the task to run on `node`,
+    /// and the locality class achieved.
+    fn pick_task(
+        spec: &ClusterSpec,
+        tasks: &[TaskSpec],
+        pending: &[usize],
+        node: NodeId,
+    ) -> (usize, Locality) {
+        let mut rack_candidate: Option<usize> = None;
+        for (i, &t) in pending.iter().enumerate() {
+            let prefs = &tasks[t].preferred_nodes;
+            if prefs.contains(&node) {
+                return (i, Locality::NodeLocal);
+            }
+            if rack_candidate.is_none()
+                && prefs
+                    .iter()
+                    .any(|&p| p < spec.nodes && spec.same_rack(p, node))
+            {
+                rack_candidate = Some(i);
+            }
+        }
+        if let Some(i) = rack_candidate {
+            return (i, Locality::RackLocal);
+        }
+        (0, Locality::Remote)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn one_wave_when_tasks_fit() {
+        let spec = ClusterSpec::small(); // 6 nodes, task_overhead 0.5
+        let tasks: Vec<_> = (0..24).map(|_| TaskSpec::compute(10.0)).collect();
+        let out = SlotScheduler::new(&spec).schedule(&tasks, 4, 0..6);
+        assert_eq!(out.waves, 1);
+        assert!(close(out.makespan_s, 10.5), "{}", out.makespan_s);
+    }
+
+    #[test]
+    fn waves_grow_with_task_count() {
+        let spec = ClusterSpec::small();
+        let tasks: Vec<_> = (0..48).map(|_| TaskSpec::compute(10.0)).collect();
+        let out = SlotScheduler::new(&spec).schedule(&tasks, 4, 0..6);
+        assert_eq!(out.waves, 2);
+        assert!(close(out.makespan_s, 21.0), "{}", out.makespan_s);
+    }
+
+    #[test]
+    fn uneven_tasks_pack_greedily() {
+        let spec = ClusterSpec::single(); // task_overhead 0.1
+                                          // 1 slot, 2 tasks.
+        let tasks = vec![TaskSpec::compute(1.0), TaskSpec::compute(2.0)];
+        let out = SlotScheduler::new(&spec).schedule(&tasks, 1, 0..1);
+        assert_eq!(out.waves, 2);
+        assert!(close(out.makespan_s, 3.2), "{}", out.makespan_s);
+    }
+
+    #[test]
+    fn locality_preferred_when_available() {
+        let spec = ClusterSpec::small();
+        // 6 tasks, each preferring a distinct node; 1 slot per node.
+        let tasks: Vec<_> = (0..6)
+            .map(|n| TaskSpec {
+                duration_s: 1.0,
+                preferred_nodes: vec![n],
+                input_bytes: 1_000_000_000,
+            })
+            .collect();
+        let out = SlotScheduler::new(&spec).schedule(&tasks, 1, 0..6);
+        assert_eq!(out.node_local, 6, "every task should run on its data");
+        for (i, &node) in out.placements.iter().enumerate() {
+            assert_eq!(node, i);
+        }
+    }
+
+    #[test]
+    fn remote_task_pays_fetch_penalty() {
+        let mut spec = ClusterSpec::small();
+        spec.task_overhead_s = 0.0;
+        // One node group, task's data is on node 5 outside group 0..1.
+        let tasks = vec![TaskSpec {
+            duration_s: 1.0,
+            preferred_nodes: vec![5],
+            input_bytes: 125_000_000, // 1 s at GbE... but same rack
+        }];
+        let out = SlotScheduler::new(&spec).schedule(&tasks, 1, 0..1);
+        // small cluster is one rack, so this is rack-local: +1 s fetch.
+        assert_eq!(out.rack_local, 1);
+        assert!(close(out.makespan_s, 2.0), "{}", out.makespan_s);
+    }
+
+    #[test]
+    fn no_preference_tasks_fetch_free() {
+        let mut spec = ClusterSpec::small();
+        spec.task_overhead_s = 0.0;
+        let tasks = vec![TaskSpec {
+            duration_s: 2.0,
+            preferred_nodes: vec![],
+            input_bytes: 999,
+        }];
+        let out = SlotScheduler::new(&spec).schedule(&tasks, 1, 0..6);
+        assert!(close(out.makespan_s, 2.0), "{}", out.makespan_s);
+        assert_eq!(out.remote, 1);
+    }
+
+    #[test]
+    fn empty_task_list_has_zero_makespan() {
+        let spec = ClusterSpec::small();
+        let out = SlotScheduler::new(&spec).schedule(&[], 4, 0..6);
+        assert_eq!(out.makespan_s, 0.0);
+        assert_eq!(out.waves, 0);
+    }
+
+    #[test]
+    fn subgroup_scheduling_stays_in_group() {
+        let spec = ClusterSpec::medium();
+        let tasks: Vec<_> = (0..32).map(|_| TaskSpec::compute(1.0)).collect();
+        let group = 8..16;
+        let out = SlotScheduler::new(&spec).schedule(&tasks, 2, group.clone());
+        for &n in &out.placements {
+            assert!(group.contains(&n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty node group")]
+    fn empty_group_panics() {
+        let spec = ClusterSpec::small();
+        SlotScheduler::new(&spec).schedule(&[TaskSpec::compute(1.0)], 1, 3..3);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let spec = ClusterSpec::medium();
+        let tasks: Vec<_> = (0..100)
+            .map(|i| TaskSpec {
+                duration_s: 1.0 + (i % 7) as f64 * 0.3,
+                preferred_nodes: vec![i % spec.nodes],
+                input_bytes: 1000 * i as u64,
+            })
+            .collect();
+        let a = SlotScheduler::new(&spec).schedule(&tasks, 4, 0..spec.nodes);
+        let b = SlotScheduler::new(&spec).schedule(&tasks, 4, 0..spec.nodes);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the slot scheduler: classic makespan bounds
+//! and determinism, for arbitrary task sets.
+
+use pic_simnet::scheduler::{SchedulerOptions, SlotScheduler, TaskSpec};
+use pic_simnet::ClusterSpec;
+use proptest::prelude::*;
+
+fn task_strategy(max_nodes: usize) -> impl Strategy<Value = TaskSpec> {
+    (
+        0.0f64..30.0,
+        proptest::collection::vec(0..max_nodes, 0..3),
+        0u64..50_000_000,
+    )
+        .prop_map(|(duration_s, preferred_nodes, input_bytes)| TaskSpec {
+            duration_s,
+            preferred_nodes,
+            input_bytes,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Greedy list scheduling respects the two classic lower bounds:
+    /// makespan ≥ longest single task, and ≥ total work / slot count
+    /// (both plus per-task overhead effects).
+    #[test]
+    fn makespan_respects_lower_bounds(
+        tasks in proptest::collection::vec(task_strategy(6), 1..60),
+        slots_per_node in 1usize..5,
+    ) {
+        let spec = ClusterSpec::small();
+        let out = SlotScheduler::new(&spec).schedule(&tasks, slots_per_node, 0..6);
+        let n_slots = (6 * slots_per_node) as f64;
+        let longest = tasks
+            .iter()
+            .map(|t| t.duration_s)
+            .fold(0.0f64, f64::max);
+        let total_work: f64 = tasks
+            .iter()
+            .map(|t| t.duration_s + spec.task_overhead_s)
+            .sum();
+        prop_assert!(out.makespan_s + 1e-9 >= longest + spec.task_overhead_s);
+        prop_assert!(out.makespan_s + 1e-9 >= total_work / n_slots);
+        // And the greedy upper bound: 2x optimal for list scheduling, with
+        // optimal ≤ max(longest, total/slots) + fetch penalties. Fetch
+        // penalties are bounded by input_bytes over the NIC.
+        let max_fetch: f64 = tasks
+            .iter()
+            .map(|t| t.input_bytes as f64 / spec.nic_bw)
+            .fold(0.0, f64::max);
+        let bound = 2.0 * (longest + spec.task_overhead_s + max_fetch)
+            + total_work / n_slots
+            + tasks.len() as f64 * max_fetch / n_slots;
+        prop_assert!(
+            out.makespan_s <= bound + 1e-6,
+            "makespan {} exceeds greedy bound {}",
+            out.makespan_s,
+            bound
+        );
+    }
+
+    /// Every task gets exactly one completion time, after its possible
+    /// start.
+    #[test]
+    fn finish_times_are_complete_and_positive(
+        tasks in proptest::collection::vec(task_strategy(6), 0..40),
+    ) {
+        let spec = ClusterSpec::small();
+        let out = SlotScheduler::new(&spec).schedule(&tasks, 2, 0..6);
+        prop_assert_eq!(out.finish_times.len(), tasks.len());
+        for (i, &f) in out.finish_times.iter().enumerate() {
+            prop_assert!(
+                f + 1e-12 >= tasks[i].duration_s + spec.task_overhead_s,
+                "task {i} finished at {f} before it could run"
+            );
+        }
+        prop_assert_eq!(
+            out.node_local + out.rack_local + out.remote,
+            tasks.len()
+        );
+    }
+
+    /// Scheduling is a pure function of its inputs.
+    #[test]
+    fn scheduling_is_deterministic(
+        tasks in proptest::collection::vec(task_strategy(6), 0..40),
+        speculative in any::<bool>(),
+    ) {
+        let spec = ClusterSpec::small();
+        let opts = SchedulerOptions { node_speed: vec![(1, 3.0)], speculative };
+        let s = SlotScheduler::new(&spec);
+        let a = s.schedule_with(&tasks, 2, 0..6, &opts);
+        let b = s.schedule_with(&tasks, 2, 0..6, &opts);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Speculation never makes the makespan worse.
+    #[test]
+    fn speculation_never_hurts(
+        tasks in proptest::collection::vec(task_strategy(6), 1..30),
+        slow_node in 0usize..6,
+        slow_factor in 1.0f64..20.0,
+    ) {
+        let spec = ClusterSpec::small();
+        let s = SlotScheduler::new(&spec);
+        let base = SchedulerOptions {
+            node_speed: vec![(slow_node, slow_factor)],
+            speculative: false,
+        };
+        let spec_on = SchedulerOptions {
+            node_speed: vec![(slow_node, slow_factor)],
+            speculative: true,
+        };
+        let without = s.schedule_with(&tasks, 1, 0..6, &base);
+        let with = s.schedule_with(&tasks, 1, 0..6, &spec_on);
+        prop_assert!(
+            with.makespan_s <= without.makespan_s + 1e-9,
+            "speculation regressed: {} -> {}",
+            without.makespan_s,
+            with.makespan_s
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate for the PIC reproduction workspace: re-exports the
+//! public API of every member crate so the examples and integration tests
+//! have one import root.
+
+pub use pic_apps as apps;
+pub use pic_core as core;
+pub use pic_dfs as dfs;
+pub use pic_mapreduce as mapreduce;
+pub use pic_simnet as simnet;

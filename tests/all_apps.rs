@@ -1,0 +1,213 @@
+//! Cross-crate smoke of every case study: each app must run through both
+//! drivers on the simulated cluster and produce a sound result.
+
+use pic_core::prelude::*;
+use pic_mapreduce::{Dataset, Engine, Timing};
+use pic_simnet::ClusterSpec;
+
+fn timing() -> Timing {
+    Timing::default_analytic()
+}
+
+#[test]
+fn kmeans_both_drivers() {
+    use pic_apps::kmeans::{gaussian_mixture, init_random_centroids, Centroids, KMeansApp};
+    let pts = gaussian_mixture(2_000, 10, 3, 100.0, 2.0, 1);
+    let init = Centroids::new(init_random_centroids(10, 3, 100.0, 2));
+    let app = KMeansApp::new(10, 3, 1e-3);
+
+    let e = Engine::new(ClusterSpec::small());
+    let d = Dataset::create(&e, "/a/km", pts, 12);
+    let ic = run_ic(
+        &e,
+        &app,
+        &d,
+        init.clone(),
+        &IcOptions {
+            timing: timing(),
+            ..Default::default()
+        },
+    );
+    assert!(ic.converged);
+    let pic = run_pic(
+        &e,
+        &app,
+        &d,
+        init,
+        &PicOptions {
+            partitions: 4,
+            timing: timing(),
+            ..Default::default()
+        },
+    );
+    assert!(pic.topoff_converged);
+}
+
+#[test]
+fn pagerank_both_drivers() {
+    use pic_apps::pagerank::{block_local_graph, PageRankApp, PartitionMode};
+    let g = block_local_graph(1_000, 4, 2, 5, 0.9, 3);
+    let app = PageRankApp::new(g.clone(), 4, PartitionMode::Block, 1);
+
+    let e = Engine::new(ClusterSpec::small());
+    let d = Dataset::create(&e, "/a/pr", g.records(), 12);
+    let ic = run_ic(
+        &e,
+        &app,
+        &d,
+        app.initial_model(),
+        &IcOptions {
+            timing: timing(),
+            ..Default::default()
+        },
+    );
+    assert_eq!(ic.iterations, 10);
+    let pic = run_pic(
+        &e,
+        &app,
+        &d,
+        app.initial_model(),
+        &PicOptions {
+            partitions: 4,
+            timing: timing(),
+            ..Default::default()
+        },
+    );
+    assert_eq!(pic.be_iterations, 3, "fixed BE budget");
+    assert_eq!(pic.topoff_iterations, 3, "fixed top-off budget");
+    // Ranks stay positive and finite.
+    assert!(pic
+        .final_model
+        .ranks
+        .iter()
+        .all(|r| r.is_finite() && *r > 0.0));
+}
+
+#[test]
+fn neuralnet_both_drivers() {
+    use pic_apps::neuralnet::{ocr_like_split, Mlp, NeuralNetApp};
+    let (train, valid) = ocr_like_split(300, 60, 3, 8, 0.08, 5);
+    let mut app = NeuralNetApp::new(valid.clone());
+    app.max_iterations = 25;
+    let init = Mlp::random(8, 6, 3, 7);
+
+    let e = Engine::new(ClusterSpec::small());
+    let d = Dataset::create(&e, "/a/nn", train, 6);
+    let ic = run_ic(
+        &e,
+        &app,
+        &d,
+        init.clone(),
+        &IcOptions {
+            timing: timing(),
+            ..Default::default()
+        },
+    );
+    let pic = run_pic(
+        &e,
+        &app,
+        &d,
+        init.clone(),
+        &PicOptions {
+            partitions: 3,
+            timing: timing(),
+            ..Default::default()
+        },
+    );
+    let base = init.misclassification_rate(&valid);
+    assert!(ic.final_model.misclassification_rate(&valid) < base);
+    assert!(pic.final_model.misclassification_rate(&valid) < base);
+}
+
+#[test]
+fn linsolve_both_drivers_agree_on_unique_solution() {
+    use pic_apps::linsolve::{diag_dominant_system, LinSolveApp};
+    let sys = diag_dominant_system(60, 0.3, 9);
+    let app = LinSolveApp::new(60, 4, 1e-9).with_exact(sys.exact.clone());
+
+    let e = Engine::new(ClusterSpec::small());
+    let d = Dataset::create(&e, "/a/ls", sys.rows.clone(), 6);
+    let ic = run_ic(
+        &e,
+        &app,
+        &d,
+        vec![0.0; 60],
+        &IcOptions {
+            timing: timing(),
+            ..Default::default()
+        },
+    );
+    let pic = run_pic(
+        &e,
+        &app,
+        &d,
+        vec![0.0; 60],
+        &PicOptions {
+            partitions: 4,
+            timing: timing(),
+            ..Default::default()
+        },
+    );
+    assert!(ic.converged && pic.topoff_converged);
+    assert!(sys.error(&ic.final_model) < 1e-6);
+    assert!(sys.error(&pic.final_model) < 1e-6);
+}
+
+#[test]
+fn smoothing_both_drivers_agree_on_unique_solution() {
+    use pic_apps::smoothing::{noisy_image, SmoothingApp};
+    let f = noisy_image(16, 16, 0.05, 11);
+    let app = SmoothingApp::new(16, 16, 4, 1e-5);
+
+    let e = Engine::new(ClusterSpec::small());
+    let d = Dataset::create(&e, "/a/sm", f.rows(), 8);
+    let ic = run_ic(
+        &e,
+        &app,
+        &d,
+        f.clone(),
+        &IcOptions {
+            timing: timing(),
+            ..Default::default()
+        },
+    );
+    let pic = run_pic(
+        &e,
+        &app,
+        &d,
+        f.clone(),
+        &PicOptions {
+            partitions: 4,
+            timing: timing(),
+            ..Default::default()
+        },
+    );
+    assert!(ic.converged && pic.topoff_converged);
+    assert!(
+        ic.final_model.rms_diff(&pic.final_model) < 1e-3,
+        "unique fixed point: {}",
+        ic.final_model.rms_diff(&pic.final_model)
+    );
+}
+
+#[test]
+fn all_apps_run_on_the_medium_cluster_too() {
+    use pic_apps::kmeans::{gaussian_mixture, init_random_centroids, Centroids, KMeansApp};
+    let pts = gaussian_mixture(2_000, 10, 3, 100.0, 2.0, 1);
+    let init = Centroids::new(init_random_centroids(10, 3, 100.0, 2));
+    let app = KMeansApp::new(10, 3, 1e-3);
+    let e = Engine::new(ClusterSpec::medium());
+    let d = Dataset::create(&e, "/a/km64", pts, 64);
+    let pic = run_pic(
+        &e,
+        &app,
+        &d,
+        init,
+        &PicOptions {
+            partitions: 16,
+            timing: timing(),
+            ..Default::default()
+        },
+    );
+    assert!(pic.topoff_converged);
+}

@@ -1,0 +1,127 @@
+//! The paper's §III.B special case, tested exactly: "If the number of
+//! partitions is one, the merge function becomes the identity function
+//! ... and the BE_converged function terminates the best-effort process
+//! after only one iteration, the best-effort phase of PIC degenerates to
+//! the conventional implementation."
+//!
+//! For deterministic apps (the linear solver, smoothing), one partition ×
+//! one local iteration must produce bit-identical models to one IC
+//! iteration — PIC adds no numerical approximation in the degenerate
+//! configuration.
+
+use pic_apps::linsolve::{diag_dominant_system, LinSolveApp};
+use pic_apps::smoothing::{noisy_image, SmoothingApp};
+use pic_core::prelude::*;
+use pic_mapreduce::{Dataset, Engine, Timing};
+use pic_simnet::ClusterSpec;
+
+#[test]
+fn linsolve_one_partition_one_local_iteration_equals_one_ic_iteration() {
+    let n = 40;
+    let sys = diag_dominant_system(n, 0.3, 5);
+    let app = LinSolveApp::new(n, 1, 1e-12);
+    let x0 = vec![0.0; n];
+
+    // One IC iteration via the engine.
+    let engine = Engine::new(ClusterSpec::small());
+    let data = Dataset::create(&engine, "/deg/ls", sys.rows.clone(), 4);
+    let ic = run_ic(
+        &engine,
+        &app,
+        &data,
+        x0.clone(),
+        &IcOptions {
+            max_iterations: Some(1),
+            timing: Timing::default_analytic(),
+            ..Default::default()
+        },
+    );
+
+    // PIC with one partition, one local iteration, one BE round, no
+    // top-off.
+    let engine = Engine::new(ClusterSpec::small());
+    let data = Dataset::create(&engine, "/deg/ls", sys.rows.clone(), 4);
+    let pic = run_pic(
+        &engine,
+        &app,
+        &data,
+        x0,
+        &PicOptions {
+            partitions: 1,
+            local_cap: Some(1),
+            max_be_iterations: Some(1),
+            max_topoff_iterations: Some(1),
+            timing: Timing::default_analytic(),
+            ..Default::default()
+        },
+    );
+
+    // The BE-phase model (before top-off) must equal the IC model exactly:
+    // same sweep, same arithmetic.
+    assert_eq!(
+        pic.be_model, ic.final_model,
+        "degenerate PIC must be bit-identical"
+    );
+    assert_eq!(pic.be_iterations, 1);
+    assert_eq!(pic.local_iterations, vec![vec![1]]);
+}
+
+#[test]
+fn smoothing_one_partition_one_local_iteration_equals_one_sweep() {
+    let f = noisy_image(12, 12, 0.05, 7);
+    let app = SmoothingApp::new(12, 12, 1, 1e-12);
+    let expected = app.sequential_sweep(&f, &f);
+
+    let engine = Engine::new(ClusterSpec::small());
+    let data = Dataset::create(&engine, "/deg/sm", f.rows(), 4);
+    let pic = run_pic(
+        &engine,
+        &app,
+        &data,
+        f.clone(),
+        &PicOptions {
+            partitions: 1,
+            local_cap: Some(1),
+            max_be_iterations: Some(1),
+            max_topoff_iterations: Some(1),
+            timing: Timing::default_analytic(),
+            ..Default::default()
+        },
+    );
+    assert!(
+        pic.be_model.max_diff(&expected) < 1e-15,
+        "one-tile local sweep must equal a full sequential sweep"
+    );
+}
+
+#[test]
+fn merge_with_one_partition_is_identity_for_every_app() {
+    // K-means.
+    {
+        use pic_apps::kmeans::{Centroids, KMeansApp};
+        use pic_core::app::PicApp;
+        let app = KMeansApp::new(3, 2, 1e-3);
+        let m = Centroids::new(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let merged = app.merge(std::slice::from_ref(&m), &m);
+        for (a, b) in merged.coords.iter().zip(&m.coords) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+    // Linear solver.
+    {
+        use pic_core::app::PicApp;
+        let app = LinSolveApp::new(4, 1, 1e-9);
+        let m = vec![1.0, -2.0, 3.0, -4.0];
+        assert_eq!(app.merge(std::slice::from_ref(&m), &m), m);
+    }
+    // Smoothing.
+    {
+        use pic_core::app::PicApp;
+        let app = SmoothingApp::new(6, 6, 1, 1e-9);
+        let img = noisy_image(6, 6, 0.01, 3);
+        let merged = app.merge(std::slice::from_ref(&img), &img);
+        assert!(merged.max_diff(&img) < 1e-15);
+    }
+}

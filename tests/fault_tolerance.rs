@@ -1,0 +1,71 @@
+//! Fault-tolerance behaviour: PIC rides on the engine's task re-execution
+//! ("if a node running a best-effort phase fails, Hadoop will
+//! automatically restart it", paper §VII).
+
+use pic_mapreduce::traits::{FnMapper, FnReducer};
+use pic_mapreduce::{Dataset, Engine, JobConfig, MapContext, ReduceContext, Timing};
+use pic_simnet::ClusterSpec;
+
+fn analytic(name: &str) -> JobConfig {
+    JobConfig::new(name).timing(Timing::default_analytic())
+}
+
+fn sum_by_mod(engine: &Engine, data: &Dataset<u64>, cfg: &JobConfig) -> Vec<(u64, u64)> {
+    let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| {
+        ctx.emit(*x % 5, *x);
+    });
+    let reducer = FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+        ctx.emit((*k, vs.iter().sum()));
+    });
+    let mut out = engine.run(cfg, data, &mapper, &reducer).output;
+    out.sort();
+    out
+}
+
+#[test]
+fn failed_tasks_are_reexecuted_with_identical_results() {
+    let engine = Engine::new(ClusterSpec::small());
+    let data = Dataset::create(&engine, "/ft/d", (0..2_000u64).collect(), 8);
+    let clean = sum_by_mod(&engine, &data, &analytic("clean"));
+    for failing_task in [0usize, 3, 7] {
+        let faulty = sum_by_mod(
+            &engine,
+            &data,
+            &analytic("faulty").fail_map_task(failing_task),
+        );
+        assert_eq!(
+            clean, faulty,
+            "failure of task {failing_task} changed the answer"
+        );
+    }
+}
+
+#[test]
+fn retries_cost_time_but_not_extra_traffic() {
+    let engine = Engine::new(ClusterSpec::small());
+    let data = Dataset::create(&engine, "/ft/t", (0..2_000u64).collect(), 8);
+
+    let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(*x % 5, *x));
+    let reducer = FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+        ctx.emit((*k, vs.iter().sum()));
+    });
+
+    let clean = engine.run(&analytic("c"), &data, &mapper, &reducer);
+    let faulty = engine.run(&analytic("f").fail_map_task(2), &data, &mapper, &reducer);
+    assert_eq!(faulty.stats.retried_tasks, 1);
+    assert!(faulty.stats.map_time_s >= clean.stats.map_time_s);
+    assert_eq!(faulty.stats.shuffle_bytes, clean.stats.shuffle_bytes);
+}
+
+#[test]
+fn multiple_failures_in_one_job() {
+    let engine = Engine::new(ClusterSpec::small());
+    let data = Dataset::create(&engine, "/ft/m", (0..500u64).collect(), 10);
+    let cfg = analytic("multi")
+        .fail_map_task(1)
+        .fail_map_task(4)
+        .fail_map_task(9);
+    let out = sum_by_mod(&engine, &data, &cfg);
+    let clean = sum_by_mod(&engine, &data, &analytic("ref"));
+    assert_eq!(out, clean);
+}

@@ -1,0 +1,143 @@
+//! Straggler tolerance: the quorum-merge extension of the best-effort
+//! phase (timing-slack analogue of the paper's numerical forgiveness) and
+//! the scheduler's speculative execution.
+
+use pic_apps::kmeans::{gaussian_mixture, init_random_centroids, sse, Centroids, KMeansApp};
+use pic_core::prelude::*;
+use pic_mapreduce::{Dataset, Engine, Timing};
+use pic_simnet::scheduler::{SchedulerOptions, SlotScheduler, TaskSpec};
+use pic_simnet::ClusterSpec;
+
+fn setup() -> (KMeansApp, Vec<pic_apps::kmeans::Point>, Centroids) {
+    let pts = gaussian_mixture(10_000, 20, 3, 1000.0, 8.0, 5);
+    let init = Centroids::new(init_random_centroids(20, 3, 1000.0, 7));
+    (KMeansApp::new(20, 3, 1.0), pts, init)
+}
+
+fn pic_opts(quorum: f64, slow: Vec<(usize, f64)>) -> PicOptions {
+    PicOptions {
+        partitions: 8,
+        timing: Timing::PerRecord {
+            map_secs: 5.6e-4,
+            reduce_secs: 5e-5,
+        },
+        local_secs_per_record: Some(0.6e-6),
+        merge_quorum: quorum,
+        slow_partitions: slow,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn quorum_merge_rides_out_an_injected_straggler() {
+    let (app, pts, init) = setup();
+
+    // One partition 50× slower. Full-quorum PIC waits for it; a 7/8
+    // quorum does not.
+    let run = |quorum: f64| {
+        let engine = Engine::new(ClusterSpec::small());
+        let data = Dataset::create(&engine, "/st/km", pts.clone(), 24);
+        engine.reset();
+        run_pic(
+            &engine,
+            &app,
+            &data,
+            init.clone(),
+            &pic_opts(quorum, vec![(3, 50.0)]),
+        )
+    };
+
+    let waiting = run(1.0);
+    let quorum = run(0.85);
+
+    assert_eq!(waiting.straggler_drops, 0);
+    assert!(
+        quorum.straggler_drops > 0,
+        "the slow partition should be dropped"
+    );
+    assert!(
+        quorum.be_time_s < waiting.be_time_s * 0.7,
+        "quorum BE {} vs waiting BE {}",
+        quorum.be_time_s,
+        waiting.be_time_s
+    );
+    // Quality is preserved: the top-off phase repairs the dropped work.
+    let sse_waiting = sse(&pts, &waiting.final_model);
+    let sse_quorum = sse(&pts, &quorum.final_model);
+    assert!(
+        sse_quorum <= sse_waiting * 1.3 + 1e-9,
+        "quorum SSE {sse_quorum} vs waiting SSE {sse_waiting}"
+    );
+}
+
+#[test]
+fn full_quorum_never_drops() {
+    let (app, pts, init) = setup();
+    let engine = Engine::new(ClusterSpec::small());
+    let data = Dataset::create(&engine, "/st/full", pts, 24);
+    engine.reset();
+    let r = run_pic(&engine, &app, &data, init, &pic_opts(1.0, vec![]));
+    assert_eq!(r.straggler_drops, 0);
+}
+
+#[test]
+#[should_panic(expected = "merge_quorum")]
+fn zero_quorum_rejected() {
+    let (app, pts, init) = setup();
+    let engine = Engine::new(ClusterSpec::small());
+    let data = Dataset::create(&engine, "/st/zero", pts, 24);
+    let _ = run_pic(&engine, &app, &data, init, &pic_opts(0.0, vec![]));
+}
+
+#[test]
+fn speculative_execution_beats_a_slow_node() {
+    let spec = ClusterSpec::small();
+    // 6 equal tasks, node 2 runs 20× slower; one slot per node so exactly
+    // one task lands on the slow node.
+    let tasks: Vec<TaskSpec> = (0..6).map(|_| TaskSpec::compute(10.0)).collect();
+    let slow = SchedulerOptions {
+        node_speed: vec![(2, 20.0)],
+        speculative: false,
+    };
+    let spec_exec = SchedulerOptions {
+        node_speed: vec![(2, 20.0)],
+        speculative: true,
+    };
+
+    let sched = SlotScheduler::new(&spec);
+    let without = sched.schedule_with(&tasks, 1, 0..6, &slow);
+    let with = sched.schedule_with(&tasks, 1, 0..6, &spec_exec);
+
+    assert!(
+        without.makespan_s > 150.0,
+        "slow node dominates: {}",
+        without.makespan_s
+    );
+    assert!(
+        with.makespan_s < without.makespan_s / 3.0,
+        "speculation should rescue the straggler: {} vs {}",
+        with.makespan_s,
+        without.makespan_s
+    );
+    // All tasks still complete exactly once in the accounting.
+    assert_eq!(with.finish_times.len(), 6);
+    assert!(with.finish_times.iter().all(|&t| t > 0.0));
+}
+
+#[test]
+fn speculation_is_a_noop_on_homogeneous_clusters() {
+    let spec = ClusterSpec::small();
+    let tasks: Vec<TaskSpec> = (0..24).map(|_| TaskSpec::compute(5.0)).collect();
+    let sched = SlotScheduler::new(&spec);
+    let plain = sched.schedule(&tasks, 4, 0..6);
+    let spec_exec = sched.schedule_with(
+        &tasks,
+        4,
+        0..6,
+        &SchedulerOptions {
+            node_speed: vec![],
+            speculative: true,
+        },
+    );
+    assert_eq!(plain.makespan_s, spec_exec.makespan_s);
+}
