@@ -21,7 +21,7 @@ impl PrModel {
         let mut edge_scores = Vec::new();
         for d in out_degrees {
             let s = if d == 0 { 0.0 } else { 1.0 / d as f64 };
-            edge_scores.extend(std::iter::repeat(s).take(d));
+            edge_scores.extend(std::iter::repeat_n(s, d));
         }
         PrModel {
             ranks: vec![1.0; n],

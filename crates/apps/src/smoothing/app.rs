@@ -89,7 +89,7 @@ impl SmoothingApp {
     /// Panics on a geometry that cannot tile the image.
     pub fn new_grid(w: usize, h: usize, parts: usize, cols: usize, threshold: f64) -> Self {
         assert!(
-            cols > 0 && parts > 0 && parts % cols == 0,
+            cols > 0 && parts > 0 && parts.is_multiple_of(cols),
             "parts must be a cols multiple"
         );
         let rows = parts / cols;
@@ -233,10 +233,10 @@ impl PicApp for SmoothingApp {
         let mut out: Vec<Vec<PixelRow>> = (0..parts).map(|_| Vec::new()).collect();
         for row in data.iter_records() {
             debug_assert_eq!(row.x0, 0, "input rows are full-width");
-            for p in 0..parts {
+            for (p, tile) in out.iter_mut().enumerate() {
                 let (xr, yr) = self.tile_rect(p);
                 if yr.contains(&(row.y as usize)) {
-                    out[p].push(PixelRow {
+                    tile.push(PixelRow {
                         y: row.y,
                         x0: xr.start as u32,
                         pix: row.pix[xr].to_vec(),

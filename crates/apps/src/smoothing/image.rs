@@ -111,7 +111,7 @@ pub fn noisy_image(w: usize, h: usize, noise: f64, seed: u64) -> Image {
             let x = (i % w) as f64;
             let y = (i / w) as f64;
             let r = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt() / rmax;
-            let blocks = if ((x as usize / 8) + (y as usize / 8)) % 2 == 0 {
+            let blocks = if ((x as usize / 8) + (y as usize / 8)).is_multiple_of(2) {
                 0.15
             } else {
                 -0.15

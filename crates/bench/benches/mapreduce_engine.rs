@@ -57,5 +57,40 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// Wide shuffle: many distinct keys fanned across many reducers, so the
+/// partition/sort/merge step dominates the host-side work. This is the
+/// case the parallel pipeline targets — the serial per-reducer BTreeMap
+/// build used to run entirely on the driver thread.
+fn bench_wide_shuffle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wide_shuffle");
+    g.sample_size(10);
+
+    for n in [50_000usize, 200_000] {
+        let engine = Engine::new(ClusterSpec::small());
+        let data = Dataset::create(&engine, "/b/wide", (0..n as u64).collect(), 24);
+        // ~n/2 distinct keys: almost every pair starts its own group, so
+        // grouping cost scales with shuffle volume rather than key count.
+        let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| {
+            ctx.emit(*x % 100_000, *x);
+            ctx.emit((*x * 31) % 100_000, 1);
+        });
+        let reducer = FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((*k, vs.iter().sum()));
+        });
+
+        for reducers in [4usize, 24] {
+            let id = BenchmarkId::new(format!("reducers_{reducers}"), n);
+            let cfg = analytic("wide").reducers(reducers);
+            g.bench_with_input(id, &n, |b, _| {
+                b.iter(|| {
+                    let r = engine.run(&cfg, &data, &mapper, &reducer);
+                    (r.stats.host_partition_s, r.stats.output_records)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_wide_shuffle);
 criterion_main!(benches);

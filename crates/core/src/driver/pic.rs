@@ -249,8 +249,11 @@ pub fn run_pic<A: PicApp>(
                 }
             })
             .collect();
-        let mean_bytes = sub_results.iter().map(ByteSize::byte_size).sum::<u64>() / parts as u64;
-        engine.gather_models(parts, mean_bytes);
+        // Charge the exact per-sub-model sizes: a mean rounded down to a
+        // common size undercounts the merge traffic by up to `parts - 1`
+        // bytes per round whenever sub-model sizes are uneven.
+        let sub_sizes: Vec<u64> = sub_results.iter().map(ByteSize::byte_size).collect();
+        engine.gather_models_sized(&sub_sizes);
         // The merge itself runs as a (small) MapReduce job in the paper's
         // library; charge it one task wave.
         engine.advance(spec.task_overhead_s);

@@ -92,7 +92,7 @@ pub fn bfs_graph(adjacency: &[Vec<usize>], parts: usize, seed: u64) -> Vec<usize
     let mut frontier: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
     let mut next_seed = 0usize;
 
-    for p in 0..parts {
+    for (p, size) in sizes.iter_mut().enumerate() {
         // Seed this region at the first unassigned vertex in shuffled order.
         while next_seed < n && assignment[order[next_seed]] != usize::MAX {
             next_seed += 1;
@@ -102,15 +102,15 @@ pub fn bfs_graph(adjacency: &[Vec<usize>], parts: usize, seed: u64) -> Vec<usize
         }
         let s = order[next_seed];
         assignment[s] = p;
-        sizes[p] = 1;
+        *size = 1;
         frontier.clear();
         frontier.push_back(s);
-        while sizes[p] < target {
+        while *size < target {
             let Some(v) = frontier.pop_front() else { break };
             for &u in &adjacency[v] {
-                if assignment[u] == usize::MAX && sizes[p] < target {
+                if assignment[u] == usize::MAX && *size < target {
                     assignment[u] = p;
-                    sizes[p] += 1;
+                    *size += 1;
                     frontier.push_back(u);
                 }
             }
@@ -118,10 +118,10 @@ pub fn bfs_graph(adjacency: &[Vec<usize>], parts: usize, seed: u64) -> Vec<usize
     }
 
     // Disconnected leftovers: round-robin onto the smallest partitions.
-    for v in 0..n {
-        if assignment[v] == usize::MAX {
+    for slot in assignment.iter_mut() {
+        if *slot == usize::MAX {
             let p = (0..parts).min_by_key(|&p| sizes[p]).expect("parts > 0");
-            assignment[v] = p;
+            *slot = p;
             sizes[p] += 1;
         }
     }

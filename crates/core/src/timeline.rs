@@ -8,7 +8,11 @@ const BAR_WIDTH: usize = 60;
 
 /// Render one labelled bar: `label |████░░| t`.
 fn bar(label: &str, seconds: f64, total: f64, fill: char) -> String {
-    let frac = if total > 0.0 { (seconds / total).clamp(0.0, 1.0) } else { 0.0 };
+    let frac = if total > 0.0 {
+        (seconds / total).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     let n = (frac * BAR_WIDTH as f64).round() as usize;
     format!(
         "{label:<14} |{}{}| {:>8.1}s",
@@ -58,7 +62,10 @@ pub fn pic_timeline<M>(r: &PicReport<M>, ic_total_s: Option<f64>) -> String {
     out.push_str(&bar("PIC total", r.total_time_s, axis, '*'));
     out.push('\n');
     if let Some(ic) = ic_total_s {
-        out.push_str(&format!("speedup: {:.2}x\n", ic / r.total_time_s.max(1e-12)));
+        out.push_str(&format!(
+            "speedup: {:.2}x\n",
+            ic / r.total_time_s.max(1e-12)
+        ));
     }
     out
 }
@@ -77,9 +84,15 @@ mod tests {
             total_time_s: iters as f64 * per_iter,
             traffic: TrafficSnapshot::default(),
             per_iteration: (0..iters)
-                .map(|_| IterationStats { time_s: per_iter, traffic: TrafficSnapshot::default() })
+                .map(|_| IterationStats {
+                    time_s: per_iter,
+                    traffic: TrafficSnapshot::default(),
+                })
                 .collect(),
-            trajectory: vec![TrajectoryPoint { t_s: 0.0, error: 1.0 }],
+            trajectory: vec![TrajectoryPoint {
+                t_s: 0.0,
+                error: 1.0,
+            }],
         }
     }
 

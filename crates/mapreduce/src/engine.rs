@@ -12,9 +12,7 @@ use pic_simnet::topology::{ClusterSpec, NodeId};
 use pic_simnet::traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};
 use pic_simnet::{transfer, SimClock};
 use rayon::prelude::*;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::BTreeMap;
-use std::hash::{Hash, Hasher};
+use std::cmp::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -110,7 +108,11 @@ impl Engine {
             return;
         }
         self.ledger.add(TrafficClass::Broadcast, bytes);
-        let slice = bytes / m;
+        // Ceiling division: with uneven slicing some node pulls the
+        // remainder, so the per-slice bound must not round down (a
+        // `bytes / m` floor undercounts whenever `m` does not divide
+        // `bytes`, and degenerates to 0 s for models smaller than `m`).
+        let slice = bytes.div_ceil(m);
         let servers_bw = self.spec.replication as f64 * self.spec.nic_bw;
         let secs = (slice as f64 / self.spec.nic_bw).max(bytes as f64 / servers_bw);
         self.advance(secs);
@@ -120,6 +122,15 @@ impl Engine {
     /// collection), charging [`TrafficClass::Merge`].
     pub fn gather_models(&self, m: usize, bytes_each: u64) {
         let (secs, net) = transfer::gather(&self.spec, m, bytes_each);
+        self.ledger.add(TrafficClass::Merge, net);
+        self.advance(secs);
+    }
+
+    /// Gather sub-models of the given exact sizes onto one node (PIC merge
+    /// collection), charging [`TrafficClass::Merge`] with the exact byte
+    /// sum — no rounding when sub-models differ in size.
+    pub fn gather_models_sized(&self, sizes: &[u64]) {
+        let (secs, net) = transfer::gather_sized(&self.spec, sizes);
         self.ledger.add(TrafficClass::Merge, net);
         self.advance(secs);
     }
@@ -190,7 +201,10 @@ impl Engine {
             ..Default::default()
         };
 
-        let map_outs: Vec<(Vec<(M::K, M::V)>, crate::counters::Counters, f64, usize)> = input
+        // (emitted pairs, counters, host seconds, input records) per task.
+        type MapOnlyOut<K, V> = (Vec<(K, V)>, crate::counters::Counters, f64, usize);
+        let host_map = Instant::now();
+        let map_outs: Vec<MapOnlyOut<M::K, M::V>> = input
             .splits
             .par_iter()
             .map(|split| {
@@ -208,6 +222,7 @@ impl Engine {
                 )
             })
             .collect();
+        stats.host_map_s = host_map.elapsed().as_secs_f64();
 
         let map_tasks: Vec<TaskSpec> = map_outs
             .iter()
@@ -282,46 +297,65 @@ impl Engine {
         };
 
         // ---- Map phase: real execution, measured. -----------------------
+        //
+        // Each map task hash-partitions its (combined) output into
+        // `cfg.reducers` emission-ordered buckets as it emits, so the
+        // shuffle partitioning runs inside the parallel map tasks — no
+        // serial driver pass and no global lock. Per-task shuffle volume
+        // is also accounted in-task.
         struct MapOut<K, V> {
-            pairs: Vec<(K, V)>,
+            buckets: Vec<Vec<(K, V)>>,
             counters: crate::counters::Counters,
             host_secs: f64,
             records: usize,
             raw_pairs: usize,
             raw_bytes: u64,
+            shuffle_pairs: usize,
+            shuffle_bytes: u64,
         }
 
+        let host_map = Instant::now();
         let map_outs: Vec<MapOut<M::K, M::V>> = input
             .splits
             .par_iter()
             .map(|split| {
                 let t0 = Instant::now();
-                let mut ctx = MapContext::new();
+                let mut ctx = MapContext::partitioned(cfg.reducers);
                 for r in &split.records {
                     mapper.map(r, &mut ctx);
                 }
-                let (mut pairs, counters) = ctx.into_parts();
-                let raw_pairs = pairs.len();
-                let raw_bytes = kv::batch_size(&pairs);
+                let (mut buckets, counters) = ctx.into_buckets();
+                let raw_pairs: usize = buckets.iter().map(Vec::len).sum();
+                let raw_bytes = kv::buckets_size(&buckets);
                 if let Some(c) = combiner {
-                    pairs = combine_run(c, pairs);
+                    // Each key hashes to exactly one bucket, so combining
+                    // per bucket groups the same runs as combining the
+                    // task's whole output.
+                    for b in &mut buckets {
+                        *b = combine_run(c, std::mem::take(b));
+                    }
                 }
+                let shuffle_pairs: usize = buckets.iter().map(Vec::len).sum();
+                let shuffle_bytes = kv::buckets_size(&buckets);
                 MapOut {
-                    pairs,
+                    buckets,
                     counters,
                     host_secs: t0.elapsed().as_secs_f64(),
                     records: split.records.len(),
                     raw_pairs,
                     raw_bytes,
+                    shuffle_pairs,
+                    shuffle_bytes,
                 }
             })
             .collect();
+        stats.host_map_s = host_map.elapsed().as_secs_f64();
 
         for mo in &map_outs {
             stats.input_records += mo.records as u64;
             stats.map_output_records += mo.raw_pairs as u64;
             stats.map_output_bytes += mo.raw_bytes;
-            stats.shuffle_records += mo.pairs.len() as u64;
+            stats.shuffle_records += mo.shuffle_pairs as u64;
             stats.counters.merge(&mo.counters);
         }
         // Raw map output is serialized and spilled to the task's local
@@ -371,7 +405,7 @@ impl Engine {
         }
 
         // ---- Shuffle: byte-exact volume, modelled time. ------------------
-        let shuffle_bytes: u64 = map_outs.iter().map(|mo| kv::batch_size(&mo.pairs)).sum();
+        let shuffle_bytes: u64 = map_outs.iter().map(|mo| mo.shuffle_bytes).sum();
         stats.shuffle_bytes = shuffle_bytes;
         let shuffle_cost = transfer::shuffle(&self.spec, &group, shuffle_bytes);
         self.ledger
@@ -383,14 +417,28 @@ impl Engine {
         stats.shuffle_time_s = shuffle_cost.seconds;
 
         // ---- Partition + sort (group by key within each bucket). --------
-        let mut buckets: Vec<BTreeMap<M::K, Vec<M::V>>> =
-            (0..cfg.reducers).map(|_| BTreeMap::new()).collect();
+        //
+        // Map tasks already partitioned their output, so this step only
+        // transposes task-major buckets into reducer-major chunk lists
+        // (cheap pointer moves) and then groups every reducer's bucket in
+        // parallel with a sort-based merge. The stable sort + Ord-equality
+        // run detection reproduces the previous serial BTreeMap build
+        // exactly: ascending keys, values in map-task-major emission
+        // order, first-emitted key instance representing each group.
+        let host_partition = Instant::now();
+        let mut reducer_chunks: Vec<Chunks<M::K, M::V>> = (0..cfg.reducers)
+            .map(|_| Vec::with_capacity(map_outs.len()))
+            .collect();
         for mo in map_outs {
-            for (k, v) in mo.pairs {
-                let b = bucket_of(&k, cfg.reducers);
-                buckets[b].entry(k).or_default().push(v);
+            for (r, chunk) in mo.buckets.into_iter().enumerate() {
+                if !chunk.is_empty() {
+                    reducer_chunks[r].push(chunk);
+                }
             }
         }
+        let grouped: Vec<Grouped<M::K, M::V>> =
+            reducer_chunks.into_par_iter().map(group_bucket).collect();
+        stats.host_partition_s = host_partition.elapsed().as_secs_f64();
 
         // ---- Reduce phase: real execution, measured. ---------------------
         struct RedOut<O> {
@@ -400,7 +448,8 @@ impl Engine {
             values: usize,
         }
 
-        let red_outs: Vec<RedOut<R::Out>> = buckets
+        let host_reduce = Instant::now();
+        let red_outs: Vec<RedOut<R::Out>> = grouped
             .into_par_iter()
             .map(|bucket| {
                 let t0 = Instant::now();
@@ -419,6 +468,7 @@ impl Engine {
                 }
             })
             .collect();
+        stats.host_reduce_s = host_reduce.elapsed().as_secs_f64();
 
         let reduce_tasks: Vec<TaskSpec> = red_outs
             .iter()
@@ -439,7 +489,8 @@ impl Engine {
         stats.reduce_waves = red_outcome.waves;
 
         // ---- Assemble output + time. -------------------------------------
-        let mut output = Vec::new();
+        let total_out: usize = red_outs.iter().map(|ro| ro.out.len()).sum();
+        let mut output = Vec::with_capacity(total_out);
         for ro in red_outs {
             stats.output_records += ro.out.len() as u64;
             stats.counters.merge(&ro.counters);
@@ -461,12 +512,42 @@ impl Engine {
     }
 }
 
-/// Deterministic reduce-bucket assignment (SipHash with the fixed default
-/// keys — stable across runs and platforms for a given Rust release).
-fn bucket_of<K: Hash>(key: &K, reducers: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % reducers as u64) as usize
+/// One reducer's incoming shuffle: per contributing map task, that task's
+/// bucket for this reducer, in task-major order.
+type Chunks<K, V> = Vec<Vec<(K, V)>>;
+
+/// One reducer's grouped input: ascending keys, each with its values in
+/// task-major emission order.
+type Grouped<K, V> = Vec<(K, Vec<V>)>;
+
+/// Group one reducer's bucket: concatenate the per-map-task chunks (in
+/// task order), stable-sort by key, and split into per-key runs.
+///
+/// Matches the semantics of building a `BTreeMap<K, Vec<V>>` by inserting
+/// pairs in task-major emission order, which the engine did serially
+/// before the pipeline was parallelized:
+///
+/// * groups come out in ascending key order;
+/// * run boundaries use `Ord` equality (`cmp == Equal`), exactly like
+///   BTreeMap lookups;
+/// * the stored key of each group is its first-emitted instance, and
+///   values keep task-major emission order (stable sort preserves the
+///   concatenation order of equal keys).
+fn group_bucket<K: Ord, V>(chunks: Chunks<K, V>) -> Grouped<K, V> {
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let mut pairs: Vec<(K, V)> = Vec::with_capacity(total);
+    for chunk in chunks {
+        pairs.extend(chunk);
+    }
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in pairs {
+        match out.last_mut() {
+            Some((run_key, vs)) if (*run_key).cmp(&k) == Ordering::Equal => vs.push(v),
+            _ => out.push((k, vec![v])),
+        }
+    }
+    out
 }
 
 /// Sort one map task's output by key and combine each key's run of values.
@@ -714,6 +795,41 @@ mod tests {
     }
 
     #[test]
+    fn gather_models_sized_charges_exact_sum() {
+        let engine = word_count_engine();
+        // 44 bytes total across 3 uneven sub-models; a mean-based charge
+        // (44 / 3 = 14, times 3 = 42) would lose 2 bytes.
+        engine.gather_models_sized(&[12, 12, 20]);
+        let t = engine.traffic();
+        assert_eq!(t.get(TrafficClass::Merge), 44);
+        assert!(engine.now() > 0.0);
+
+        // Equal sizes match the fixed-size path exactly (time and bytes).
+        let a = word_count_engine();
+        let b = word_count_engine();
+        a.gather_models_sized(&[500; 6]);
+        b.gather_models(6, 500);
+        assert_eq!(
+            a.traffic().get(TrafficClass::Merge),
+            b.traffic().get(TrafficClass::Merge)
+        );
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn scatter_model_slice_time_rounds_up() {
+        // 7 bytes over 2 nodes slices as ceil(7/2) = 4: the node holding
+        // the remainder bounds the transfer, so 7 and 8 bytes take equally
+        // long. A floored slice (3 vs 4) would make 7 finish faster.
+        let a = word_count_engine();
+        let b = word_count_engine();
+        a.scatter_model(7, &(0..2));
+        b.scatter_model(8, &(0..2));
+        assert_eq!(a.now(), b.now());
+        assert!(a.now() > 0.0);
+    }
+
+    #[test]
     fn combine_run_groups_all_duplicates() {
         struct Sum;
         impl DynCombiner<u64, u64> for Sum {
@@ -727,6 +843,55 @@ mod tests {
         let mut out = combine_run(&Sum, pairs);
         out.sort();
         assert_eq!(out, vec![(1, 30), (2, 3), (3, 5)]);
+    }
+
+    #[test]
+    fn combine_run_keeps_multiple_values_per_key() {
+        // A combiner may shrink a run to more than one value (e.g. keep a
+        // min and a max); every survivor must be re-emitted under its key,
+        // in the order the combiner left them.
+        struct MinMax;
+        impl DynCombiner<u64, u64> for MinMax {
+            fn combine_dyn(&self, _k: &u64, vs: &mut Vec<u64>) {
+                let (min, max) = (*vs.iter().min().unwrap(), *vs.iter().max().unwrap());
+                vs.clear();
+                vs.push(min);
+                vs.push(max);
+            }
+        }
+        let pairs = vec![(1u64, 9u64), (2, 4), (1, 3), (1, 6), (2, 8)];
+        let out = combine_run(&MinMax, pairs);
+        assert_eq!(out, vec![(1, 3), (1, 9), (2, 4), (2, 8)]);
+    }
+
+    #[test]
+    fn combine_run_can_clear_a_key_entirely() {
+        // A combiner that empties `values` drops the key from the shuffle.
+        struct DropOdd;
+        impl DynCombiner<u64, u64> for DropOdd {
+            fn combine_dyn(&self, k: &u64, vs: &mut Vec<u64>) {
+                if k % 2 == 1 {
+                    vs.clear();
+                }
+            }
+        }
+        let pairs = vec![(1u64, 10u64), (2, 20), (3, 30), (2, 21)];
+        let out = combine_run(&DropOdd, pairs);
+        assert_eq!(out, vec![(2, 20), (2, 21)]);
+    }
+
+    #[test]
+    fn combine_run_single_element_and_empty() {
+        struct Sum;
+        impl DynCombiner<u64, u64> for Sum {
+            fn combine_dyn(&self, _k: &u64, vs: &mut Vec<u64>) {
+                let s = vs.iter().sum();
+                vs.clear();
+                vs.push(s);
+            }
+        }
+        assert_eq!(combine_run(&Sum, vec![(7u64, 42u64)]), vec![(7, 42)]);
+        assert_eq!(combine_run(&Sum, Vec::<(u64, u64)>::new()), vec![]);
     }
 
     #[test]

@@ -133,6 +133,13 @@ pub fn batch_size<K: ByteSize, V: ByteSize>(pairs: &[(K, V)]) -> u64 {
     pairs.iter().map(|(k, v)| record_size(k, v)).sum()
 }
 
+/// Total serialized size across per-reducer buckets of records. Because
+/// [`batch_size`] is a per-record sum, this equals `batch_size` of the
+/// flattened pairs regardless of how they were partitioned.
+pub fn buckets_size<K: ByteSize, V: ByteSize>(buckets: &[Vec<(K, V)>]) -> u64 {
+    buckets.iter().map(|b| batch_size(b)).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

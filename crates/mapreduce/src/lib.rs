@@ -75,4 +75,4 @@ pub use engine::Engine;
 pub use job::{JobConfig, Timing};
 pub use kv::ByteSize;
 pub use stats::{JobResult, JobStats};
-pub use traits::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
+pub use traits::{bucket_of, Combiner, MapContext, Mapper, ReduceContext, Reducer};

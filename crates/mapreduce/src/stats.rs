@@ -24,6 +24,17 @@ pub struct JobStats {
     pub reduce_time_s: f64,
     /// Simulated end-to-end job time (including overheads and overlap).
     pub total_time_s: f64,
+    /// Measured host wall-clock seconds of the parallel map phase (real
+    /// mapper + combiner + emit-side partitioning work on the rayon pool).
+    /// Host times are diagnostics for the engine's own pipeline; they do
+    /// not feed the simulated clock unless [`crate::job::Timing::Measured`]
+    /// is selected.
+    pub host_map_s: f64,
+    /// Measured host wall-clock seconds of the parallel partition/group
+    /// step (per-reducer concatenation + stable sort + run grouping).
+    pub host_partition_s: f64,
+    /// Measured host wall-clock seconds of the parallel reduce phase.
+    pub host_reduce_s: f64,
     /// Input records consumed.
     pub input_records: u64,
     /// Pairs emitted by mappers, before combining.

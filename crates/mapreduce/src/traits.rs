@@ -7,6 +7,8 @@
 
 use crate::counters::Counters;
 use crate::kv::ByteSize;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 
 /// Marker bundle for key types: hashable (for partitioning), ordered (for
 /// the sort phase), sized (for traffic accounting), and shareable across
@@ -18,27 +20,82 @@ impl<T: std::hash::Hash + Eq + Ord + Clone + Send + Sync + ByteSize> Key for T {
 pub trait Value: Clone + Send + Sync + ByteSize {}
 impl<T: Clone + Send + Sync + ByteSize> Value for T {}
 
+/// Deterministic reduce-bucket assignment (SipHash with the fixed default
+/// keys — stable across runs and platforms for a given Rust release).
+/// This is the engine's hash partitioner; it is public so reference
+/// implementations and tests can reproduce the exact bucket layout.
+pub fn bucket_of<K: Hash>(key: &K, reducers: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % reducers as u64) as usize
+}
+
 /// Context handed to [`Mapper::map`]: collects emitted pairs and counter
 /// increments for one task.
+///
+/// Two collection modes:
+///
+/// * **flat** ([`MapContext::new`]) — pairs accumulate in emission order;
+///   used by map-only jobs and direct mapper unit tests.
+/// * **partitioned** ([`MapContext::partitioned`]) — each pair is routed
+///   to its reduce bucket by [`bucket_of`] *as it is emitted*, so the
+///   engine's shuffle partitioning work happens inside the (parallel) map
+///   tasks instead of in a serial driver pass.
 pub struct MapContext<K, V> {
+    /// Flat-mode emissions (unused in partitioned mode).
     pairs: Vec<(K, V)>,
+    /// Partitioned-mode emissions; non-empty iff partitioned.
+    buckets: Vec<Vec<(K, V)>>,
+    emitted: usize,
     counters: Counters,
 }
 
+impl<K, V> Default for MapContext<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<K, V> MapContext<K, V> {
-    /// An empty context (exposed so applications can unit-test mappers
-    /// directly).
+    /// An empty flat context (exposed so applications can unit-test
+    /// mappers directly).
     pub fn new() -> Self {
         MapContext {
             pairs: Vec::new(),
+            buckets: Vec::new(),
+            emitted: 0,
+            counters: Counters::new(),
+        }
+    }
+
+    /// An empty context that hash-partitions emissions into `reducers`
+    /// buckets at emit time.
+    ///
+    /// # Panics
+    /// Panics if `reducers` is zero.
+    pub fn partitioned(reducers: usize) -> Self {
+        assert!(reducers > 0, "partitioned context needs at least 1 bucket");
+        MapContext {
+            pairs: Vec::new(),
+            buckets: (0..reducers).map(|_| Vec::new()).collect(),
+            emitted: 0,
             counters: Counters::new(),
         }
     }
 
     /// Emit one intermediate key/value pair.
     #[inline]
-    pub fn emit(&mut self, key: K, value: V) {
-        self.pairs.push((key, value));
+    pub fn emit(&mut self, key: K, value: V)
+    where
+        K: Hash,
+    {
+        self.emitted += 1;
+        if self.buckets.is_empty() {
+            self.pairs.push((key, value));
+        } else {
+            let b = bucket_of(&key, self.buckets.len());
+            self.buckets[b].push((key, value));
+        }
     }
 
     /// Increment a named counter (aggregated into the job's
@@ -49,13 +106,36 @@ impl<K, V> MapContext<K, V> {
 
     /// Number of pairs emitted so far by this task.
     pub fn emitted(&self) -> usize {
-        self.pairs.len()
+        self.emitted
     }
 
     /// Consume the context, yielding emitted pairs and counters (for
-    /// direct mapper tests).
+    /// direct mapper tests). In partitioned mode the pairs come back in
+    /// bucket-major order.
     pub fn into_parts(self) -> (Vec<(K, V)>, Counters) {
-        (self.pairs, self.counters)
+        if self.buckets.is_empty() {
+            (self.pairs, self.counters)
+        } else {
+            let total: usize = self.buckets.iter().map(Vec::len).sum();
+            let mut pairs = Vec::with_capacity(total);
+            for b in self.buckets {
+                pairs.extend(b);
+            }
+            (pairs, self.counters)
+        }
+    }
+
+    /// Consume a partitioned context, yielding one emission-ordered pair
+    /// vector per reduce bucket plus the counters.
+    ///
+    /// # Panics
+    /// Panics on a flat context — callers choose the mode up front.
+    pub fn into_buckets(self) -> (Vec<Vec<(K, V)>>, Counters) {
+        assert!(
+            !self.buckets.is_empty(),
+            "into_buckets on a flat MapContext"
+        );
+        (self.buckets, self.counters)
     }
 }
 
@@ -64,6 +144,12 @@ impl<K, V> MapContext<K, V> {
 pub struct ReduceContext<O> {
     out: Vec<O>,
     counters: Counters,
+}
+
+impl<O> Default for ReduceContext<O> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<O> ReduceContext<O> {
@@ -155,6 +241,7 @@ impl<C: Combiner> DynCombiner<C::K, C::V> for C {
 /// Blanket closure-based mapper for quick jobs and tests.
 pub struct FnMapper<I, K, V, F> {
     f: F,
+    #[allow(clippy::type_complexity)]
     _marker: std::marker::PhantomData<fn(&I) -> (K, V)>,
 }
 

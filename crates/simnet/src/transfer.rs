@@ -163,6 +163,14 @@ pub fn gather(spec: &ClusterSpec, m: usize, bytes_each: u64) -> (f64, u64) {
     (total as f64 / spec.nic_bw, total)
 }
 
+/// Gather variably-sized pieces onto one node: the receiver's NIC is the
+/// bottleneck, so time is the exact byte total over its bandwidth. Same
+/// model as [`gather`] without forcing the pieces to a common size.
+pub fn gather_sized(spec: &ClusterSpec, sizes: &[u64]) -> (f64, u64) {
+    let total: u64 = sizes.iter().sum();
+    (total as f64 / spec.nic_bw, total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

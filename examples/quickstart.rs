@@ -87,6 +87,9 @@ fn main() {
     );
 
     println!("\ntimeline (simulated seconds):");
-    print!("{}", pic_core::timeline::pic_timeline(&pic, Some(ic.total_time_s)));
+    print!(
+        "{}",
+        pic_core::timeline::pic_timeline(&pic, Some(ic.total_time_s))
+    );
     println!("(paper reports 2.5x-4x)");
 }

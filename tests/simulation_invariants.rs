@@ -128,7 +128,10 @@ fn partitioned_fanout_moves_less_model_than_replicated() {
         &app,
         &data,
         f.clone(),
-        &IcOptions { max_iterations: Some(3), ..Default::default() },
+        &IcOptions {
+            max_iterations: Some(3),
+            ..Default::default()
+        },
     );
     let moved = r.traffic.get(TrafficClass::Broadcast);
     let model_bytes = f.byte_size();

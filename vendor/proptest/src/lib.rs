@@ -1,0 +1,553 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so the workspace vendors
+//! the API subset its property tests use: the [`proptest!`] macro
+//! (including `#![proptest_config(...)]`), range and `any::<T>()`
+//! strategies, `proptest::collection::vec`, tuple strategies,
+//! [`Strategy::prop_map`], and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the exact generated inputs
+//!   (and the case's seed) instead of a minimized counterexample.
+//! * **Deterministic seeding.** Each test derives its seed from its
+//!   module path and name, so CI failures reproduce locally. Set
+//!   `PROPTEST_SEED=<u64>` to explore a different stream.
+//! * String strategies accept only the `.{lo,hi}` regex shape (the one
+//!   used in this workspace) and fall back to short printable strings
+//!   for anything else.
+
+use std::fmt::Write as _;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// RNG (xorshift-multiply; self-contained so this crate has no deps).
+// ---------------------------------------------------------------------------
+
+/// Deterministic test RNG.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// An RNG seeded from the test's identity (stable across runs) or
+    /// the `PROPTEST_SEED` environment variable when set.
+    pub fn for_test(module: &str, name: &str) -> Self {
+        if let Some(seed) = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            return TestRng(seed | 1);
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in module.bytes().chain([b':']).chain(name.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h | 1)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Vigna); period 2^64 - 1.
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core strategy abstraction.
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// String strategy from a regex literal. Supports the `.{lo,hi}` shape
+/// (printable ASCII, length in `[lo, hi]`); any other pattern falls back
+/// to printable strings of length 0–16.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 16));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| (b' ' + rng.below(95) as u8) as char)
+            .collect()
+    }
+}
+
+fn parse_dot_repeat(pat: &str) -> Option<(usize, usize)> {
+    let body = pat.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, spanning many magnitudes.
+        let mag = rng.unit_f64() * 2.0 - 1.0;
+        let exp = rng.below(41) as i32 - 20;
+        mag * 10f64.powi(exp)
+    }
+}
+
+/// Strategy for a whole type's domain; see [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner configuration and failure plumbing.
+// ---------------------------------------------------------------------------
+
+/// Runner configuration (`cases` is the only knob this stand-in honours).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the engine-level properties
+        // (each case runs a full simulated job) fast in CI.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A property violation raised by `prop_assert!` and friends.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Internal runner driving one property over `config.cases` cases.
+/// Called by the [`proptest!`] expansion; not public API upstream.
+pub fn run_property<F>(config: ProptestConfig, module: &str, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), (TestCaseError, String)>,
+{
+    let mut rng = TestRng::for_test(module, name);
+    for i in 0..config.cases {
+        if let Err((err, inputs)) = case(&mut rng) {
+            let mut msg = String::new();
+            let _ = write!(
+                msg,
+                "property '{name}' failed at case {i}/{}: {err}\ninputs:\n{inputs}\
+                 (set PROPTEST_SEED to vary the deterministic stream)",
+                config.cases
+            );
+            panic!("{msg}");
+        }
+    }
+}
+
+/// Everything tests import wholesale.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Define property tests. Mirrors upstream's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in collection::vec(0..10, 0..5)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns!((<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property(
+                $config,
+                ::std::module_path!(),
+                ::std::stringify!($name),
+                |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                    let __inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(s.push_str(&::std::format!(
+                            "  {} = {:?}\n", ::std::stringify!($arg), &$arg
+                        ));)+
+                        s
+                    };
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __result.map_err(|e| (e, __inputs))
+                },
+            );
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    l, r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+), l, r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_test("t", "ranges");
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(5u64..10), &mut rng);
+            assert!((5..10).contains(&x));
+            let y = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut rng = TestRng::for_test("t", "vec");
+        for _ in 0..200 {
+            let v = Strategy::generate(&collection::vec(0u8..10, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_pattern_lengths() {
+        let mut rng = TestRng::for_test("t", "str");
+        for _ in 0..200 {
+            let s = Strategy::generate(&".{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.bytes().all(|b| (b' '..=b'~').contains(&b)));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = TestRng::for_test("t", "map");
+        let strat = (0u64..10, 0u64..10).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!(Strategy::generate(&strat, &mut rng) < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_test("m", "x");
+        let mut b = TestRng::for_test("m", "x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("m", "y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(x in 0u64..100, v in collection::vec(0u8..3, 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        /// Doc comments and configs parse too.
+        #[test]
+        fn macro_with_config(b in any::<bool>()) {
+            prop_assert!(b || !b);
+        }
+    }
+}

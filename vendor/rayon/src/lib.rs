@@ -1,0 +1,520 @@
+//! Minimal offline stand-in for the `rayon` crate.
+//!
+//! The build container has no registry access, so the workspace vendors
+//! the data-parallel subset the engine actually uses:
+//!
+//! * `par_iter()` / `into_par_iter()` over slices, `Vec`s and `usize`
+//!   ranges, with `map`, `zip`, `enumerate` and order-preserving
+//!   `collect`;
+//! * [`ThreadPoolBuilder`] → [`ThreadPool::install`] to pin the degree of
+//!   parallelism for a scope (used by the determinism tests to compare a
+//!   1-thread pool against the default pool);
+//! * [`current_num_threads`] and the `RAYON_NUM_THREADS` environment
+//!   variable, honoured exactly like upstream.
+//!
+//! Execution model: each `collect` splits its items into contiguous
+//! chunks, fans the chunks out to scoped OS threads (`std::thread::scope`
+//! — borrows work like rayon's), and concatenates results **in input
+//! order**. This is fork-join parallelism without work stealing: ideal
+//! for the engine's uniform bulk phases, and the per-call spawn cost
+//! (~tens of µs) is negligible against the phases it parallelizes. The
+//! pool context propagates into worker threads so nested parallel calls
+//! under a 1-thread `install` stay sequential.
+
+use std::cell::Cell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`]; `0`
+    /// means "no override, use the global default".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        match std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n > 0 => n,
+            // Upstream treats 0 or unset as "one per logical CPU".
+            _ => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    })
+}
+
+/// The number of threads parallel operations use in the current scope:
+/// the installed pool's size, or the global default.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        default_num_threads()
+    }
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    let inherit = current_num_threads();
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || {
+            POOL_THREADS.with(|c| c.set(inherit));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("rayon join worker panicked"))
+    })
+}
+
+/// Builder for a fixed-size [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced here, but
+/// kept so call sites can `?`/`unwrap` as with upstream rayon).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "could not build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the pool to exactly `n` threads (`0` = global default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(n) if n > 0 => n,
+            _ => default_num_threads(),
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A handle fixing the degree of parallelism for scopes run under
+/// [`ThreadPool::install`]. Threads themselves are spawned per operation
+/// (scoped), so the pool is just the configured width.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `f` with this pool's thread count governing all parallel
+    /// operations (including nested ones) inside it.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fork-join core.
+// ---------------------------------------------------------------------------
+
+/// Map `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// preserving input order in the output.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Contiguous chunks, one per worker, order preserved.
+    let chunk = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+
+    let inherit = current_num_threads();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                s.spawn(move || {
+                    POOL_THREADS.with(|cell| cell.set(inherit));
+                    c.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for h in handles {
+            out.extend(h.join().expect("rayon worker panicked"));
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator façade.
+// ---------------------------------------------------------------------------
+
+/// A materialized parallel iterator: items are known up front; work is
+/// deferred to the closure applied at `collect` time.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// The number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Defer `f` over every item; it runs in parallel at `collect`.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, R, impl Fn(T) -> R + Sync>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _out: PhantomData,
+        }
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Zip with another parallel iterator, truncating to the shorter.
+    pub fn zip<U: Send, I: IntoParallelIterator<Item = U>>(self, other: I) -> ParIter<(T, U)> {
+        let other = other.into_par_iter();
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Run `f` on every item (parallel, no results kept).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        let _ = par_map_vec(self.items, &|t| f(t));
+    }
+
+    /// Collect the (unmapped) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A deferred parallel map; created by [`ParIter::map`].
+pub struct ParMap<T, R, F> {
+    items: Vec<T>,
+    f: F,
+    _out: PhantomData<fn() -> R>,
+}
+
+impl<T, R, F> ParMap<T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Chain another map (composes the closures).
+    pub fn map<R2, G>(self, g: G) -> ParMap<T, R2, impl Fn(T) -> R2 + Sync>
+    where
+        R2: Send,
+        G: Fn(R) -> R2 + Sync,
+    {
+        let f = self.f;
+        ParMap {
+            items: self.items,
+            f: move |t| g(f(t)),
+            _out: PhantomData,
+        }
+    }
+
+    /// Execute the map in parallel and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_vec(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Execute in parallel, discarding results.
+    pub fn for_each_drop(self) {
+        let _ = par_map_vec(self.items, &self.f);
+    }
+
+    /// Execute in parallel and sum the results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        par_map_vec(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// Conversion into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Materialize the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// By-reference conversion (rayon's `IntoParallelRefIterator`), giving
+/// the `.par_iter()` method.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type produced (a reference).
+    type Item: Send;
+
+    /// A parallel iterator over references.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, C: ?Sized> IntoParallelRefIterator<'data> for C
+where
+    C: 'data,
+    &'data C: IntoParallelIterator,
+{
+    type Item = <&'data C as IntoParallelIterator>::Item;
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        self.into_par_iter()
+    }
+}
+
+/// The traits user code imports wholesale, as with upstream rayon.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_owned() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[99], 2);
+    }
+
+    #[test]
+    fn zip_enumerate_compose() {
+        let a = vec![10, 20, 30];
+        let b = vec!["x", "y", "z"];
+        let out: Vec<(usize, (i32, &str))> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .enumerate()
+            .map(|(i, (n, s))| (i, (*n, *s)))
+            .collect();
+        assert_eq!(out, vec![(0, (10, "x")), (1, (20, "y")), (2, (30, "z"))]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        if default_num_threads() < 2 {
+            return; // single-core CI runner; nothing to verify
+        }
+        let ids: HashSet<std::thread::ThreadId> = (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                std::thread::current().id()
+            })
+            .collect();
+        assert!(ids.len() > 1, "expected work on more than one thread");
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            let ids: HashSet<std::thread::ThreadId> = (0..32usize)
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect();
+            assert_eq!(ids.len(), 1, "1-thread pool must stay sequential");
+        });
+        let pool3 = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool3.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn install_restores_on_exit() {
+        let before = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {});
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn pool_context_propagates_into_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            let counts: Vec<usize> = (0..8usize)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect();
+            assert!(counts.iter().all(|&c| c == 2), "workers see pool width");
+        });
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let count = AtomicUsize::new(0);
+        let v: Vec<u32> = (0..1000).collect();
+        v.par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u8> = vec![7];
+        let out: Vec<u8> = one.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let v: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x + 1).map(|x| x * 2).collect();
+        assert_eq!(out[0], 2);
+        assert_eq!(out[99], 200);
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for the `serde` façade crate.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros from the
+//! vendored [`serde_derive`]. No trait machinery is provided because
+//! nothing in this workspace serializes at runtime; the derive
+//! annotations are kept so the types remain ready for real serde when
+//! the build environment has registry access again.
+
+pub use serde_derive::{Deserialize, Serialize};

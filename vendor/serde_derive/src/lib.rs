@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serializes at runtime — the derives exist so
+//! report/topology types stay annotated for a future with real serde.
+//! Each macro therefore accepts the input (including `#[serde(...)]`
+//! helper attributes) and expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
