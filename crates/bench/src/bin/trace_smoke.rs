@@ -1,0 +1,126 @@
+//! Trace smoke run: execute the Figure 2 experiment, validate both runs'
+//! traces against the structural invariant suite (span nesting, per-slot
+//! exclusivity, exact byte attribution against the ledger, best-effort
+//! before top-off), and export them as Chrome `about:tracing` JSON.
+//!
+//! ```text
+//! trace_smoke [--scale <f>] [--out <dir>]
+//! ```
+//!
+//! Exits non-zero if any invariant is violated, so CI can gate on it.
+
+use pic_bench::experiments::{fig2, ExperimentCtx};
+use pic_simnet::trace::check;
+use pic_simnet::{MetricsRegistry, Trace, TrafficSnapshot};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = ExperimentCtx::default();
+    let mut out_dir = PathBuf::from("target/traces");
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--scale needs a value"));
+                ctx.scale = v.parse().unwrap_or_else(|_| {
+                    usage("--scale must be a positive number");
+                });
+                if !(ctx.scale > 0.0) {
+                    usage("--scale must be positive");
+                }
+            }
+            "--out" => {
+                i += 1;
+                out_dir =
+                    PathBuf::from(args.get(i).unwrap_or_else(|| usage("--out needs a value")));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    let t0 = std::time::Instant::now();
+    let (report, cmp) = fig2::run_full(&ctx);
+    print!("{report}");
+    eprintln!(
+        "[trace_smoke] fig2 at scale {} completed in {:.1}s (host time)",
+        ctx.scale,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut failures = 0;
+    failures += validate_run("ic", &cmp.ic_trace, &cmp.ic_traffic);
+    failures += validate_run("pic", &cmp.pic_trace, &cmp.pic_traffic);
+    if let Err(errs) = check::span_order(&cmp.pic_trace, "be-iteration", "topoff") {
+        failures += errs.len();
+        for e in &errs {
+            eprintln!("[trace_smoke] pic trace ordering violation: {e}");
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
+        eprintln!("[trace_smoke] cannot create {}: {e}", out_dir.display());
+        std::process::exit(2);
+    });
+    for (name, trace) in [("ic", &cmp.ic_trace), ("pic", &cmp.pic_trace)] {
+        let path = out_dir.join(format!("fig2_{name}_trace.json"));
+        if let Err(e) = std::fs::write(&path, trace.to_chrome_json()) {
+            eprintln!("[trace_smoke] cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!(
+            "[trace_smoke] wrote {} ({} spans, {} instants)",
+            path.display(),
+            trace.spans.len(),
+            trace.instants.len()
+        );
+    }
+
+    println!("\nPIC run metrics (derived from the trace)\n");
+    println!("{}", MetricsRegistry::from_trace(&cmp.pic_trace).render());
+
+    if failures > 0 {
+        eprintln!("[trace_smoke] {failures} invariant violation(s)");
+        std::process::exit(1);
+    }
+    eprintln!("[trace_smoke] all trace invariants hold");
+}
+
+/// Run the structural suite on one run's trace; returns the violation
+/// count (0 = clean).
+fn validate_run(name: &str, trace: &Trace, ledger: &TrafficSnapshot) -> usize {
+    match check::validate(trace, ledger) {
+        Ok(()) => {
+            eprintln!(
+                "[trace_smoke] {name} trace ok: {} spans, {} instants, bytes reconcile exactly",
+                trace.spans.len(),
+                trace.instants.len()
+            );
+            0
+        }
+        Err(errs) => {
+            for e in &errs {
+                eprintln!("[trace_smoke] {name} trace violation: {e}");
+            }
+            errs.len()
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: trace_smoke [--scale <f>] [--out <dir>]\n\n\
+         Runs the fig2 experiment, checks every trace invariant, and writes\n\
+         Chrome about:tracing JSON files to <dir> (default target/traces)."
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -2,7 +2,7 @@
 
 use pic_core::prelude::*;
 use pic_mapreduce::{Dataset, Engine};
-use pic_simnet::ClusterSpec;
+use pic_simnet::{ClusterSpec, Trace, TrafficSnapshot};
 
 /// Deterministic per-record costs per application.
 ///
@@ -98,6 +98,15 @@ pub struct Comparison<M> {
     pub ic: IcReport<M>,
     /// The PIC report.
     pub pic: PicReport<M>,
+    /// Span/event trace of the baseline run.
+    pub ic_trace: Trace,
+    /// Span/event trace of the PIC run.
+    pub pic_trace: Trace,
+    /// The baseline engine's ledger totals (what `ic_trace` must
+    /// reconcile with, byte for byte).
+    pub ic_traffic: TrafficSnapshot,
+    /// The PIC engine's ledger totals.
+    pub pic_traffic: TrafficSnapshot,
 }
 
 impl<M> Comparison<M> {
@@ -153,7 +162,14 @@ where
         },
     );
 
-    Comparison { ic, pic }
+    Comparison {
+        ic,
+        pic,
+        ic_trace: ic_engine.trace(),
+        pic_trace: pic_engine.trace(),
+        ic_traffic: ic_engine.traffic(),
+        pic_traffic: pic_engine.traffic(),
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +186,9 @@ mod tests {
         assert!(cmp.ic.iterations > 0);
         assert!(cmp.pic.be_iterations > 0);
         assert!(cmp.speedup() > 0.0);
+        // Both runs carry a trace that passes the structural suite and
+        // reconciles exactly with its engine's ledger.
+        pic_simnet::trace::check::validate(&cmp.ic_trace, &cmp.ic_traffic).unwrap();
+        pic_simnet::trace::check::validate(&cmp.pic_trace, &cmp.pic_traffic).unwrap();
     }
 }

@@ -10,6 +10,12 @@ use pic_simnet::ClusterSpec;
 
 /// Run Figure 2.
 pub fn run(ctx: &ExperimentCtx) -> String {
+    run_full(ctx).0
+}
+
+/// Run Figure 2 and also return the comparison with both runs' traces —
+/// the smoke binary validates and exports them.
+pub fn run_full(ctx: &ExperimentCtx) -> (String, super::common::Comparison<Centroids>) {
     let n = ctx.n(400_000, 4_000);
     let k = 100;
     let dim = 3;
@@ -58,7 +64,7 @@ pub fn run(ctx: &ExperimentCtx) -> String {
         &fmt_bytes(pic_traffic.model_update_total()),
     ]);
 
-    format!(
+    let report = format!(
         "Figure 2 — K-means runtime and traffic, IC vs PIC ({n} points, {k} clusters, \
          64-node cluster; paper ran 100M points)\n\n{}\n{}\n{}\n\
          paper expectation: BE phase ≈ 1/5 of IC time; top-off ≈ 1/6 of IC's \
@@ -66,7 +72,8 @@ pub fn run(ctx: &ExperimentCtx) -> String {
         time.render(),
         traffic.render(),
         pic_core::timeline::pic_timeline(&cmp.pic, Some(cmp.ic.total_time_s)),
-    )
+    );
+    (report, cmp)
 }
 
 #[cfg(test)]

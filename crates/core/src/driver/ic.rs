@@ -73,6 +73,13 @@ pub fn run_ic<A: IterativeApp>(
         opts.reducers
     };
 
+    // Driver-side trace: a root span for the whole run, one span per
+    // iteration (category = the phase label, so best-effort vs top-off
+    // ordering is checkable), with the engine's transfer/job spans
+    // nesting inside.
+    let tracer = engine.tracer().clone();
+    let root_span = tracer.begin(format!("{}:{}", opts.phase, app.name()), "driver");
+
     if opts.charge_startup {
         // One-time startup; per-iteration job re-creation is excluded, as
         // in the paper's adjusted baseline (§V.A).
@@ -109,6 +116,7 @@ pub fn run_ic<A: IterativeApp>(
     while iterations < max_iterations {
         let it_t0 = engine.now();
         let it_traffic0 = engine.traffic();
+        let it_span = tracer.begin(format!("{}-{}", opts.phase, scope.iteration), opts.phase);
 
         // Ship the current model to the group's tasks.
         match app.model_fanout() {
@@ -132,6 +140,7 @@ pub fn run_ic<A: IterativeApp>(
         );
 
         iterations += 1;
+        tracer.end(it_span);
         per_iteration.push(IterationStats {
             time_s: engine.now() - it_t0,
             traffic: engine.traffic().delta_since(&it_traffic0),
@@ -151,6 +160,8 @@ pub fn run_ic<A: IterativeApp>(
         }
         scope = scope.next_iteration();
     }
+
+    tracer.end(root_span);
 
     IcReport {
         final_model: model,

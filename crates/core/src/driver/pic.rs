@@ -26,6 +26,7 @@ use crate::report::{PicReport, TrajectoryPoint};
 use pic_mapreduce::kv::ByteSize;
 use pic_mapreduce::{Dataset, Engine, Timing};
 use pic_simnet::scheduler::{SlotScheduler, TaskSpec};
+use pic_simnet::trace::Payload;
 use pic_simnet::traffic::TrafficClass;
 use pic_simnet::transfer;
 use rayon::prelude::*;
@@ -111,6 +112,11 @@ pub fn run_pic<A: PicApp>(
     let parts = opts.partitions;
     assert!(parts > 0, "need at least one partition");
 
+    // Root span for the whole two-phase run; the best-effort rounds and the
+    // top-off's "topoff:*" driver span nest inside it.
+    let tracer = engine.tracer().clone();
+    let pic_span = tracer.begin(format!("pic:{}", app.name()), "driver");
+
     engine.advance(spec.job_overhead_s); // one-time startup
     let run_t0 = engine.now();
     let be_traffic0 = engine.traffic();
@@ -125,6 +131,7 @@ pub fn run_pic<A: PicApp>(
     if opts.repartition_data {
         // A real repartition job: one pass of the input through the
         // cluster-wide shuffle plus a replicated rewrite.
+        let t_repart = engine.now();
         let cost = transfer::shuffle(spec, &(0..spec.nodes), data.total_bytes);
         engine
             .ledger()
@@ -141,6 +148,13 @@ pub fn run_pic<A: PicApp>(
             data.total_bytes,
             0,
             TrafficClass::DfsWrite,
+        );
+        tracer.span_at(
+            "repartition",
+            "transfer",
+            t_repart,
+            t_repart + cost.seconds,
+            vec![("bytes".into(), Payload::U64(data.total_bytes))],
         );
     }
     let groups: Vec<std::ops::Range<usize>> =
@@ -163,6 +177,8 @@ pub fn run_pic<A: PicApp>(
     let mut straggler_drops = 0usize;
 
     while be_iterations < max_be {
+        let be_span = tracer.begin(format!("be-{}", be_iterations + 1), "be-iteration");
+
         // Sub-models out of the unified model (paper `partition`, model
         // side), broadcast each to its node group. Broadcasts to disjoint
         // groups proceed in parallel: time is their max, traffic their sum.
@@ -172,12 +188,22 @@ pub fn run_pic<A: PicApp>(
             parts,
             "split_model must return `parts` models"
         );
+        let t_bcast = engine.now();
         let mut bcast_s: f64 = 0.0;
+        let mut bcast_bytes: u64 = 0;
         for (g, sm) in groups.iter().zip(&sub_models) {
             let (s, net) = transfer::broadcast(spec, g.len(), sm.byte_size());
             engine.ledger().add(TrafficClass::Broadcast, net);
             bcast_s = bcast_s.max(s);
+            bcast_bytes += net;
         }
+        tracer.span_at(
+            "broadcast",
+            "transfer",
+            t_bcast,
+            t_bcast + bcast_s,
+            vec![("bytes".into(), Payload::U64(bcast_bytes))],
+        );
         engine.advance(bcast_s);
 
         // Local iterations: solve every sub-problem for real, in parallel.
@@ -234,6 +260,10 @@ pub fn run_pic<A: PicApp>(
         let mut finish_sorted = outcome.finish_times.clone();
         finish_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
         let quorum_time = finish_sorted[quorum - 1];
+        // Replay the solve tasks as per-slot spans, clamped to the quorum
+        // wait so straggler spans do not escape this round.
+        let t_solve = engine.now();
+        outcome.emit_task_spans(&tracer, t_solve, "solve", quorum_time);
         engine.advance(quorum_time);
 
         // Collect sub-models and merge (paper `merge`).
@@ -245,6 +275,11 @@ pub fn run_pic<A: PicApp>(
                     m.clone()
                 } else {
                     straggler_drops += 1;
+                    tracer.instant(
+                        "straggler-drop",
+                        "sched",
+                        vec![("partition".into(), Payload::U64(p as u64))],
+                    );
                     sub_models[p].clone()
                 }
             })
@@ -253,6 +288,7 @@ pub fn run_pic<A: PicApp>(
         // common size undercounts the merge traffic by up to `parts - 1`
         // bytes per round whenever sub-model sizes are uneven.
         let sub_sizes: Vec<u64> = sub_results.iter().map(ByteSize::byte_size).collect();
+        let merge_span = tracer.begin("merge", "merge");
         engine.gather_models_sized(&sub_sizes);
         // The merge itself runs as a (small) MapReduce job in the paper's
         // library; charge it one task wave.
@@ -264,9 +300,11 @@ pub fn run_pic<A: PicApp>(
             0,
             TrafficClass::ModelUpdate,
         );
+        tracer.end(merge_span);
 
         local_iterations.push(solved.iter().map(|(_, iters, _)| *iters).collect());
         be_iterations += 1;
+        tracer.end(be_span);
         if let Some(e) = app.error(&merged) {
             trajectory.push(TrajectoryPoint {
                 t_s: engine.now() - run_t0,
@@ -300,6 +338,7 @@ pub fn run_pic<A: PicApp>(
         charge_startup: false, // same job chain continues
     };
     let topoff = run_ic(engine, app, data, model, &topoff_opts);
+    tracer.end(pic_span);
 
     for p in &topoff.trajectory {
         trajectory.push(TrajectoryPoint {

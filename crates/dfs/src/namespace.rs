@@ -5,6 +5,7 @@ use crate::split::{even_ranges, InputSplit};
 use crate::DEFAULT_BLOCK_SIZE;
 use parking_lot::RwLock;
 use pic_simnet::topology::{ClusterSpec, NodeId};
+use pic_simnet::trace::{Payload, Tracer};
 use pic_simnet::traffic::{TrafficClass, TrafficLedger};
 use pic_simnet::transfer;
 use std::collections::HashMap;
@@ -48,6 +49,7 @@ pub struct Dfs {
     block_size: u64,
     placement: BlockPlacement,
     files: Arc<RwLock<HashMap<String, FileMeta>>>,
+    tracer: Tracer,
 }
 
 impl Dfs {
@@ -74,7 +76,16 @@ impl Dfs {
             block_size,
             placement: BlockPlacement::new(seed),
             files: Arc::new(RwLock::new(HashMap::new())),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// The same DFS with `tracer` attached: every write emits a
+    /// `dfs-write` instant event (path, logical bytes, replicated bytes)
+    /// keyed to simulated time.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The cluster this DFS runs on.
@@ -116,6 +127,16 @@ impl Dfs {
         // "bytes written".
         let copies = self.spec.replication.min(self.spec.nodes) as u64;
         self.ledger.add(class, bytes * copies);
+        self.tracer.instant(
+            "write",
+            "dfs",
+            vec![
+                ("path".to_string(), Payload::Str(path.to_string())),
+                ("bytes".to_string(), Payload::U64(bytes)),
+                ("replicated_bytes".to_string(), Payload::U64(bytes * copies)),
+                ("class".to_string(), Payload::Str(class.label().to_string())),
+            ],
+        );
         let (secs, _net) = transfer::dfs_write(&self.spec, bytes);
         self.files.write().insert(
             path.to_string(),

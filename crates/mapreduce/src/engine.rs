@@ -7,8 +7,9 @@ use crate::stats::{JobResult, JobStats};
 use crate::traits::{Combiner, DynCombiner, MapContext, Mapper, ReduceContext, Reducer};
 use parking_lot::Mutex;
 use pic_dfs::Dfs;
-use pic_simnet::scheduler::{Locality, SlotScheduler, TaskSpec};
+use pic_simnet::scheduler::{Locality, SchedulerOptions, SlotScheduler, TaskSpec};
 use pic_simnet::topology::{ClusterSpec, NodeId};
+use pic_simnet::trace::{Payload, Trace, Tracer};
 use pic_simnet::traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};
 use pic_simnet::{transfer, SimClock};
 use rayon::prelude::*;
@@ -23,24 +24,29 @@ pub struct Engine {
     spec: Arc<ClusterSpec>,
     ledger: Arc<TrafficLedger>,
     dfs: Dfs,
-    clock: Mutex<SimClock>,
+    clock: Arc<Mutex<SimClock>>,
+    tracer: Tracer,
 }
 
 impl Engine {
-    /// An engine over `spec` with a fresh DFS, ledger and clock.
+    /// An engine over `spec` with a fresh DFS, ledger and clock, tracing
+    /// every job, transfer and ledger charge into its [`Tracer`].
     ///
     /// # Panics
     /// Panics if the spec fails validation.
     pub fn new(spec: ClusterSpec) -> Self {
         spec.validate().expect("invalid cluster spec");
         let spec = Arc::new(spec);
-        let ledger = Arc::new(TrafficLedger::new());
-        let dfs = Dfs::new(Arc::clone(&spec), Arc::clone(&ledger));
+        let clock = Arc::new(Mutex::new(SimClock::new()));
+        let tracer = Tracer::new(Arc::clone(&clock));
+        let ledger = Arc::new(TrafficLedger::traced(tracer.clone()));
+        let dfs = Dfs::new(Arc::clone(&spec), Arc::clone(&ledger)).with_tracer(tracer.clone());
         Engine {
             spec,
             ledger,
             dfs,
-            clock: Mutex::new(SimClock::new()),
+            clock,
+            tracer,
         }
     }
 
@@ -69,10 +75,23 @@ impl Engine {
         self.clock.lock().advance(dt);
     }
 
-    /// Reset clock and ledger (between independent experiments).
+    /// Reset clock, ledger and trace (between independent experiments).
     pub fn reset(&self) {
         self.clock.lock().reset();
         self.ledger.reset();
+        self.tracer.clear();
+    }
+
+    /// The tracer recording this engine's simulated-time activity.
+    /// Drivers thread it through their own spans; it is always enabled.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Snapshot everything traced since creation (or the last
+    /// [`Engine::reset`]).
+    pub fn trace(&self) -> Trace {
+        self.tracer.trace()
     }
 
     /// Snapshot the ledger (for per-phase deltas).
@@ -85,7 +104,18 @@ impl Engine {
     /// multiplies the charged bytes, per the paper's model-update
     /// bottleneck.
     pub fn write_model(&self, path: &str, bytes: u64, writer: NodeId, class: TrafficClass) {
+        let t0 = self.now();
         let secs = self.dfs.overwrite(path, bytes, writer, class);
+        self.tracer.span_at(
+            "model-write",
+            "transfer",
+            t0,
+            t0 + secs,
+            vec![
+                ("bytes".to_string(), Payload::U64(bytes)),
+                ("class".to_string(), Payload::Str(class.label().to_string())),
+            ],
+        );
         self.advance(secs);
     }
 
@@ -93,8 +123,16 @@ impl Engine {
     /// cache style), charging [`TrafficClass::Broadcast`] and advancing the
     /// clock.
     pub fn broadcast_model(&self, bytes: u64, group: &std::ops::Range<NodeId>) {
+        let t0 = self.now();
         let (secs, net) = transfer::broadcast(&self.spec, group.len(), bytes);
         self.ledger.add(TrafficClass::Broadcast, net);
+        self.tracer.span_at(
+            "broadcast",
+            "transfer",
+            t0,
+            t0 + secs,
+            vec![("bytes".to_string(), Payload::U64(net))],
+        );
         self.advance(secs);
     }
 
@@ -107,6 +145,7 @@ impl Engine {
         if bytes == 0 {
             return;
         }
+        let t0 = self.now();
         self.ledger.add(TrafficClass::Broadcast, bytes);
         // Ceiling division: with uneven slicing some node pulls the
         // remainder, so the per-slice bound must not round down (a
@@ -115,14 +154,29 @@ impl Engine {
         let slice = bytes.div_ceil(m);
         let servers_bw = self.spec.replication as f64 * self.spec.nic_bw;
         let secs = (slice as f64 / self.spec.nic_bw).max(bytes as f64 / servers_bw);
+        self.tracer.span_at(
+            "scatter",
+            "transfer",
+            t0,
+            t0 + secs,
+            vec![("bytes".to_string(), Payload::U64(bytes))],
+        );
         self.advance(secs);
     }
 
     /// Gather `m` sub-models of `bytes_each` onto one node (PIC merge
     /// collection), charging [`TrafficClass::Merge`].
     pub fn gather_models(&self, m: usize, bytes_each: u64) {
+        let t0 = self.now();
         let (secs, net) = transfer::gather(&self.spec, m, bytes_each);
         self.ledger.add(TrafficClass::Merge, net);
+        self.tracer.span_at(
+            "gather",
+            "transfer",
+            t0,
+            t0 + secs,
+            vec![("bytes".to_string(), Payload::U64(net))],
+        );
         self.advance(secs);
     }
 
@@ -130,8 +184,16 @@ impl Engine {
     /// collection), charging [`TrafficClass::Merge`] with the exact byte
     /// sum — no rounding when sub-models differ in size.
     pub fn gather_models_sized(&self, sizes: &[u64]) {
+        let t0 = self.now();
         let (secs, net) = transfer::gather_sized(&self.spec, sizes);
         self.ledger.add(TrafficClass::Merge, net);
+        self.tracer.span_at(
+            "gather",
+            "transfer",
+            t0,
+            t0 + secs,
+            vec![("bytes".to_string(), Payload::U64(net))],
+        );
         self.advance(secs);
     }
 
@@ -201,6 +263,14 @@ impl Engine {
             ..Default::default()
         };
 
+        let overhead = if cfg.charge_job_overhead {
+            self.spec.job_overhead_s
+        } else {
+            0.0
+        };
+        let t_job = self.now();
+        let job_span = self.tracer.begin(format!("job:{}", cfg.name), "job");
+
         // (emitted pairs, counters, host seconds, input records) per task.
         type MapOnlyOut<K, V> = (Vec<(K, V)>, crate::counters::Counters, f64, usize);
         let host_map = Instant::now();
@@ -239,11 +309,20 @@ impl Engine {
                 }
             })
             .collect();
-        let outcome = SlotScheduler::new(&self.spec).schedule(
+        let t_phase = t_job + overhead;
+        let map_span = self.tracer.begin_at("map", "phase", t_phase);
+        let outcome = SlotScheduler::new(&self.spec).schedule_traced(
             &map_tasks,
             self.spec.map_slots_per_node(),
             group,
+            &SchedulerOptions::default(),
+            &self.tracer,
+            t_phase,
+            "map",
         );
+        self.tracer.end_at(map_span, t_phase + outcome.makespan_s);
+        self.tracer
+            .set_arg(map_span, "waves", Payload::U64(outcome.waves as u64));
         stats.map_time_s = outcome.makespan_s;
         stats.map_waves = outcome.waves;
         stats.node_local_tasks = outcome.node_local;
@@ -259,15 +338,30 @@ impl Engine {
             output.extend(pairs);
         }
 
-        let overhead = if cfg.charge_job_overhead {
-            self.spec.job_overhead_s
-        } else {
-            0.0
-        };
         stats.total_time_s = overhead + stats.map_time_s;
+        self.emit_counter_events(&stats.counters, t_job + stats.total_time_s);
+        self.tracer
+            .set_arg(job_span, "host_map_s", Payload::F64(stats.host_map_s));
+        self.tracer.end_at(job_span, t_job + stats.total_time_s);
         self.advance(stats.total_time_s);
 
         JobResult { output, stats }
+    }
+
+    /// Emit one `counter` instant per merged job counter at the job's
+    /// end time (counters are published when the job completes).
+    fn emit_counter_events(&self, counters: &crate::counters::Counters, t: f64) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        for (name, value) in counters.iter() {
+            self.tracer.instant_at(
+                name.to_string(),
+                "counter",
+                t,
+                vec![("value".to_string(), Payload::U64(value))],
+            );
+        }
     }
 
     fn run_inner<M, R>(
@@ -295,6 +389,22 @@ impl Engine {
             reduce_tasks: cfg.reducers,
             ..Default::default()
         };
+
+        // Shuffle fully overlaps the map phase (optimized Hadoop baseline,
+        // paper §II), so the job timeline is: overhead, then map and
+        // shuffle side by side from `t_phase`, then reduce. The clock
+        // holds still until the whole job is assembled, so every ledger
+        // charge lands at `t_job` — inside the job span, which is why the
+        // job span opens before any charge and phase spans only bracket
+        // their own scheduling.
+        let overhead = if cfg.charge_job_overhead {
+            self.spec.job_overhead_s
+        } else {
+            0.0
+        };
+        let t_job = self.now();
+        let t_phase = t_job + overhead;
+        let job_span = self.tracer.begin(format!("job:{}", cfg.name), "job");
 
         // ---- Map phase: real execution, measured. -----------------------
         //
@@ -389,7 +499,34 @@ impl Engine {
             .collect();
 
         let sched = SlotScheduler::new(&self.spec);
-        let map_outcome = sched.schedule(&map_tasks, self.spec.map_slots_per_node(), group.clone());
+        let map_span = self.tracer.begin_at("map", "phase", t_phase);
+        let map_outcome = sched.schedule_traced(
+            &map_tasks,
+            self.spec.map_slots_per_node(),
+            group.clone(),
+            &SchedulerOptions::default(),
+            &self.tracer,
+            t_phase,
+            "map",
+        );
+        // Injected failures re-execute blindly inside their (doubled)
+        // task span; mark each with a `retry` instant at attempt start.
+        if self.tracer.is_enabled() {
+            for l in &map_outcome.launches {
+                if cfg.map_failures.contains(&l.task) && !l.speculative {
+                    self.tracer.instant_at(
+                        "retry",
+                        "sched",
+                        t_phase + l.start_s,
+                        vec![("task".to_string(), Payload::U64(l.task as u64))],
+                    );
+                }
+            }
+        }
+        self.tracer
+            .end_at(map_span, t_phase + map_outcome.makespan_s);
+        self.tracer
+            .set_arg(map_span, "waves", Payload::U64(map_outcome.waves as u64));
         stats.map_time_s = map_outcome.makespan_s;
         stats.map_waves = map_outcome.waves;
         stats.node_local_tasks = map_outcome.node_local;
@@ -415,6 +552,16 @@ impl Engine {
         self.ledger
             .add(TrafficClass::ShuffleBisection, shuffle_cost.bisection_bytes);
         stats.shuffle_time_s = shuffle_cost.seconds;
+        // The shuffle runs concurrently with the map phase, so it gets
+        // its own display lane rather than nesting inside the map span.
+        self.tracer.span_at_in(
+            "shuffle",
+            "shuffle",
+            "phase",
+            t_phase,
+            t_phase + stats.shuffle_time_s,
+            vec![("bytes".to_string(), Payload::U64(shuffle_bytes))],
+        );
 
         // ---- Partition + sort (group by key within each bucket). --------
         //
@@ -439,6 +586,22 @@ impl Engine {
         let grouped: Vec<Grouped<M::K, M::V>> =
             reducer_chunks.into_par_iter().map(group_bucket).collect();
         stats.host_partition_s = host_partition.elapsed().as_secs_f64();
+
+        // Simulated time charges the sort/group to the reducers' merge
+        // pass, which overlaps the shuffle tail; it contributes no
+        // separate simulated time, so its span is an instant-width marker
+        // at the reduce start carrying the host-side measurement.
+        let t_reduce = t_phase + stats.map_time_s.max(stats.shuffle_time_s);
+        self.tracer.span_at(
+            "sort",
+            "phase",
+            t_reduce,
+            t_reduce,
+            vec![(
+                "host_partition_s".to_string(),
+                Payload::F64(stats.host_partition_s),
+            )],
+        );
 
         // ---- Reduce phase: real execution, measured. ---------------------
         struct RedOut<O> {
@@ -480,11 +643,20 @@ impl Engine {
                 TaskSpec::compute(duration)
             })
             .collect();
-        let red_outcome = sched.schedule(
+        let reduce_span = self.tracer.begin_at("reduce", "phase", t_reduce);
+        let red_outcome = sched.schedule_traced(
             &reduce_tasks,
             self.spec.reduce_slots_per_node(),
             group.clone(),
+            &SchedulerOptions::default(),
+            &self.tracer,
+            t_reduce,
+            "red",
         );
+        self.tracer
+            .end_at(reduce_span, t_reduce + red_outcome.makespan_s);
+        self.tracer
+            .set_arg(reduce_span, "waves", Payload::U64(red_outcome.waves as u64));
         stats.reduce_time_s = red_outcome.makespan_s;
         stats.reduce_waves = red_outcome.waves;
 
@@ -497,15 +669,14 @@ impl Engine {
             output.extend(ro.out);
         }
 
-        // Shuffle fully overlaps the map phase (optimized Hadoop baseline,
-        // paper §II); reduce starts when both finish.
-        let overhead = if cfg.charge_job_overhead {
-            self.spec.job_overhead_s
-        } else {
-            0.0
-        };
         stats.total_time_s =
             overhead + stats.map_time_s.max(stats.shuffle_time_s) + stats.reduce_time_s;
+        self.emit_counter_events(&stats.counters, t_job + stats.total_time_s);
+        self.tracer
+            .set_arg(job_span, "host_map_s", Payload::F64(stats.host_map_s));
+        self.tracer
+            .set_arg(job_span, "host_reduce_s", Payload::F64(stats.host_reduce_s));
+        self.tracer.end_at(job_span, t_job + stats.total_time_s);
         self.advance(stats.total_time_s);
 
         JobResult { output, stats }

@@ -35,10 +35,12 @@ pub mod clock;
 pub mod event;
 pub mod scheduler;
 pub mod topology;
+pub mod trace;
 pub mod traffic;
 pub mod transfer;
 
 pub use clock::SimClock;
-pub use scheduler::{ScheduleOutcome, SlotScheduler, TaskSpec};
+pub use scheduler::{ScheduleOutcome, SlotScheduler, TaskLaunch, TaskSpec};
 pub use topology::{ClusterSpec, NodeId, RackId};
+pub use trace::{MetricsRegistry, Payload, Trace, Tracer};
 pub use traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};

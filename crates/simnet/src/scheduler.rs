@@ -11,6 +11,7 @@
 
 use crate::event::EventQueue;
 use crate::topology::{ClusterSpec, NodeId};
+use crate::trace::{Payload, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Tuning knobs for a scheduling round.
@@ -73,6 +74,26 @@ pub enum Locality {
     Remote,
 }
 
+/// One task attempt assigned to a slot, in assignment order — the raw
+/// event-log the trace layer replays into task spans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskLaunch {
+    /// Index of the task in the input slice.
+    pub task: usize,
+    /// Slot the attempt ran on (`0..nodes × slots_per_node`).
+    pub slot: usize,
+    /// Node hosting that slot.
+    pub node: NodeId,
+    /// Attempt start, seconds from the scheduling round's origin.
+    pub start_s: f64,
+    /// Attempt finish (even for a speculative copy that lost the race).
+    pub finish_s: f64,
+    /// True for a speculative backup attempt.
+    pub speculative: bool,
+    /// Locality class of this attempt's placement.
+    pub locality: Locality,
+}
+
 /// Result of scheduling one batch of tasks.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleOutcome {
@@ -93,6 +114,54 @@ pub struct ScheduleOutcome {
     pub rack_local: usize,
     /// Count of remote placements.
     pub remote: usize,
+    /// Every task attempt in assignment order, including speculative
+    /// backups that lost the race.
+    pub launches: Vec<TaskLaunch>,
+}
+
+impl ScheduleOutcome {
+    /// Replay this outcome into `tracer`: one `task` span per attempt on
+    /// lane `{lane_prefix}-slot-{slot}`, shifted by `t0` (the scheduling
+    /// round's simulated start) and clamped to `t0 + clamp_s` (phase end
+    /// or quorum cut-off — a losing speculative copy or a dropped
+    /// straggler must not outlive its phase span). Speculative attempts
+    /// additionally emit a `speculative-launch` sched instant.
+    pub fn emit_task_spans(&self, tracer: &Tracer, t0: f64, lane_prefix: &str, clamp_s: f64) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        for l in &self.launches {
+            let lane = format!("{lane_prefix}-slot-{}", l.slot);
+            let s0 = t0 + l.start_s.min(clamp_s);
+            let s1 = t0 + l.finish_s.min(clamp_s);
+            let mut name = format!("{lane_prefix}-task-{}", l.task);
+            if l.speculative {
+                name.push_str(" (spec)");
+                tracer.instant_at_in(
+                    &lane,
+                    "speculative-launch",
+                    "sched",
+                    s0,
+                    vec![("task".to_string(), Payload::U64(l.task as u64))],
+                );
+            }
+            tracer.span_at_in(
+                &lane,
+                name,
+                "task",
+                s0,
+                s1,
+                vec![
+                    ("task".to_string(), Payload::U64(l.task as u64)),
+                    ("node".to_string(), Payload::U64(l.node as u64)),
+                    (
+                        "locality".to_string(),
+                        Payload::Str(format!("{:?}", l.locality)),
+                    ),
+                ],
+            );
+        }
+    }
 }
 
 /// The slot scheduler for a cluster (or a contiguous node group of it —
@@ -150,6 +219,7 @@ impl<'a> SlotScheduler<'a> {
         let mut completed = vec![false; n_tasks];
         let mut expected_finish = vec![f64::INFINITY; n_tasks];
         let mut speculated = vec![false; n_tasks];
+        let mut launches: Vec<TaskLaunch> = Vec::with_capacity(n_tasks);
 
         // Compute the launch cost of `task` on `node` and its locality.
         let launch = |task_idx: usize, node: NodeId, loc: Locality| -> f64 {
@@ -197,6 +267,15 @@ impl<'a> SlotScheduler<'a> {
                 locality[task_idx] = loc;
                 expected_finish[task_idx] = finish;
                 per_slot_count[slot] += 1;
+                launches.push(TaskLaunch {
+                    task: task_idx,
+                    slot,
+                    node,
+                    start_s: now,
+                    finish_s: finish,
+                    speculative: false,
+                    locality: loc,
+                });
                 q.push(finish, (slot, Some(task_idx)));
             } else if opts.speculative {
                 // Back up the straggler with the latest expected finish if
@@ -215,6 +294,15 @@ impl<'a> SlotScheduler<'a> {
                         speculated[t] = true;
                         expected_finish[t] = expected_finish[t].min(dup_finish);
                         per_slot_count[slot] += 1;
+                        launches.push(TaskLaunch {
+                            task: t,
+                            slot,
+                            node,
+                            start_s: now,
+                            finish_s: dup_finish,
+                            speculative: true,
+                            locality: loc,
+                        });
                         q.push(dup_finish, (slot, Some(t)));
                     }
                 }
@@ -242,7 +330,30 @@ impl<'a> SlotScheduler<'a> {
             node_local,
             rack_local,
             remote,
+            launches,
         }
+    }
+
+    /// [`SlotScheduler::schedule_with`] that also replays the outcome
+    /// into `tracer` as `task` spans starting at simulated time `t0`,
+    /// on lanes `{lane_prefix}-slot-N`, clamped to the round's makespan.
+    /// Callers that cut a round short (PIC's merge quorum) should use
+    /// [`SlotScheduler::schedule_with`] plus
+    /// [`ScheduleOutcome::emit_task_spans`] with their own clamp.
+    #[allow(clippy::too_many_arguments)]
+    pub fn schedule_traced(
+        &self,
+        tasks: &[TaskSpec],
+        slots_per_node: usize,
+        nodes: std::ops::Range<NodeId>,
+        opts: &SchedulerOptions,
+        tracer: &Tracer,
+        t0: f64,
+        lane_prefix: &str,
+    ) -> ScheduleOutcome {
+        let out = self.schedule_with(tasks, slots_per_node, nodes, opts);
+        out.emit_task_spans(tracer, t0, lane_prefix, out.makespan_s);
+        out
     }
 
     /// Locality class `task` would achieve running on `node`.
@@ -397,6 +508,77 @@ mod tests {
     fn empty_group_panics() {
         let spec = ClusterSpec::small();
         SlotScheduler::new(&spec).schedule(&[TaskSpec::compute(1.0)], 1, 3..3);
+    }
+
+    #[test]
+    fn launches_record_every_attempt() {
+        let spec = ClusterSpec::small();
+        let tasks: Vec<_> = (0..48).map(|i| TaskSpec::compute(1.0 + i as f64)).collect();
+        let out = SlotScheduler::new(&spec).schedule(&tasks, 4, 0..6);
+        // No speculation: exactly one launch per task, consistent with
+        // the per-task outcome fields.
+        assert_eq!(out.launches.len(), 48);
+        let mut seen = vec![false; 48];
+        for l in &out.launches {
+            assert!(!l.speculative);
+            assert!(!seen[l.task], "task {} launched twice", l.task);
+            seen[l.task] = true;
+            assert_eq!(l.node, out.placements[l.task]);
+            assert_eq!(l.locality, out.locality[l.task]);
+            assert_eq!(l.node, l.slot / 4, "slot lives on its node");
+            assert!(l.start_s < l.finish_s);
+            assert!(close(l.finish_s, out.finish_times[l.task]));
+        }
+        // Launches come out in assignment order: start times ascend.
+        for w in out.launches.windows(2) {
+            assert!(w[0].start_s <= w[1].start_s + 1e-12);
+        }
+    }
+
+    #[test]
+    fn speculative_attempts_are_flagged_in_launches() {
+        let mut spec = ClusterSpec::small();
+        spec.task_overhead_s = 0.0;
+        // One slow straggler on a degraded node; plenty of idle slots.
+        let tasks: Vec<_> = (0..6).map(|_| TaskSpec::compute(10.0)).collect();
+        let opts = SchedulerOptions {
+            node_speed: vec![(0, 10.0)],
+            speculative: true,
+        };
+        let out = SlotScheduler::new(&spec).schedule_with(&tasks, 1, 0..6, &opts);
+        let spec_launches: Vec<_> = out.launches.iter().filter(|l| l.speculative).collect();
+        assert!(
+            !spec_launches.is_empty(),
+            "the degraded node's task must be backed up"
+        );
+        for l in &spec_launches {
+            // The backup wins: the recorded finish is the backup's.
+            assert!(close(l.finish_s, out.finish_times[l.task]));
+        }
+        // Total attempts = tasks + backups.
+        assert_eq!(out.launches.len(), 6 + spec_launches.len());
+    }
+
+    #[test]
+    fn emit_task_spans_clamps_and_labels() {
+        use crate::clock::SimClock;
+        use crate::trace::{check, Tracer};
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+
+        let spec = ClusterSpec::single();
+        let tasks = vec![TaskSpec::compute(1.0), TaskSpec::compute(2.0)];
+        let out = SlotScheduler::new(&spec).schedule(&tasks, 1, 0..1);
+        let tracer = Tracer::new(Arc::new(Mutex::new(SimClock::new())));
+        out.emit_task_spans(&tracer, 5.0, "map", 2.0);
+        let trace = tracer.trace();
+        assert_eq!(trace.spans.len(), 2);
+        for s in &trace.spans {
+            assert_eq!(s.cat, "task");
+            assert_eq!(s.lane, "map-slot-0");
+            assert!(s.t0 >= 5.0 && s.t1 <= 5.0 + 2.0 + 1e-12, "clamped");
+        }
+        check::no_overlap_per_slot(&trace).unwrap();
     }
 
     #[test]

@@ -1,0 +1,977 @@
+//! Structured tracing keyed to **simulated** time.
+//!
+//! The paper's claims are observability claims: PIC wins because shuffle
+//! and model-update bytes collapse, and because the best-effort phase
+//! spends its time in cheap local iterations instead of framework passes.
+//! End-of-run aggregates ([`crate::traffic::TrafficSnapshot`], `JobStats`)
+//! cannot show *when* bytes moved or *which* phase/iteration spent the
+//! time, so this module records a tree of spans and instant events on the
+//! simulated clock:
+//!
+//! * **Spans** — `job → phase (map/shuffle/sort/reduce) → task`, and on
+//!   the driver side `pic run → best-effort iteration → local solves /
+//!   merge → top-off iteration → job …`. Spans nest: every child lies
+//!   inside its parent's `[t0, t1]` window.
+//! * **Instants** — point events for retries, speculative launches,
+//!   straggler drops, DFS writes, counter rollups, and *every*
+//!   [`crate::traffic::TrafficLedger`] charge (class + bytes). Because
+//!   the ledger itself emits the traffic events, the bytes attributed in
+//!   a trace reconcile **exactly** (`==`) with the ledger's totals.
+//!
+//! Two time bases coexist: span boundaries are simulated seconds, while
+//! host-side wall-clock measurements ride along as args whose key starts
+//! with `host_`. [`Trace::without_host_args`] strips the latter, leaving a
+//! trace that is bit-identical across rayon pool widths — the property
+//! `tests/trace_invariants.rs` pins.
+//!
+//! [`Trace::to_chrome_json`] exports the Chrome `about:tracing` /
+//! Perfetto JSON format (serde is a vendored no-op stand-in, so the JSON
+//! is rendered by hand). [`MetricsRegistry::from_trace`] derives per-phase
+//! time, per-class bytes and counter rollups, and [`check`] holds the
+//! reusable trace invariants the test suite asserts.
+
+use crate::clock::SimClock;
+use crate::traffic::{TrafficClass, TrafficSnapshot};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Identifier of a recorded span, unique within one [`Tracer`] epoch
+/// (i.e. until [`Tracer::clear`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A typed argument value attached to a span or instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Unsigned integer (byte counts, task indices, counter values).
+    U64(u64),
+    /// Floating point (seconds, ratios).
+    F64(f64),
+    /// Free-form text (paths, labels).
+    Str(String),
+}
+
+/// Key/value argument list attached to spans and instants.
+pub type Args = Vec<(String, Payload)>;
+
+/// A completed (or still-open) span on the simulated timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// This span's id.
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Human-readable name (`job:kmeans-it3`, `map`, `be-2`, …).
+    pub name: String,
+    /// Category: `driver`, `be-iteration`, `ic`, `topoff`, `job`,
+    /// `phase`, `task`, `transfer`, `merge`.
+    pub cat: &'static str,
+    /// Display lane (Chrome thread): `driver`, `shuffle`,
+    /// `map-slot-3`, …
+    pub lane: String,
+    /// Start, simulated seconds.
+    pub t0: f64,
+    /// End, simulated seconds (`NaN` while still open).
+    pub t1: f64,
+    /// Attached arguments.
+    pub args: Args,
+}
+
+/// A point event on the simulated timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantEvent {
+    /// Enclosing span at the moment of emission, if any.
+    pub parent: Option<SpanId>,
+    /// Event name (`retry`, `speculative-launch`, `straggler-drop`,
+    /// a traffic-class label, a counter name, …).
+    pub name: String,
+    /// Category: `traffic`, `sched`, `counter`, `dfs`.
+    pub cat: &'static str,
+    /// Display lane.
+    pub lane: String,
+    /// Timestamp, simulated seconds.
+    pub t: f64,
+    /// Attached arguments.
+    pub args: Args,
+}
+
+/// An immutable snapshot of everything a [`Tracer`] recorded.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// All spans, in recording order; a span's index equals its id.
+    pub spans: Vec<Span>,
+    /// All instant events, in recording order.
+    pub instants: Vec<InstantEvent>,
+}
+
+/// The default display lane for driver-side spans and events.
+pub const DRIVER_LANE: &str = "driver";
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<Span>,
+    instants: Vec<InstantEvent>,
+    /// Ids of currently open spans, outermost first.
+    stack: Vec<SpanId>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    clock: Arc<Mutex<SimClock>>,
+    state: Mutex<State>,
+}
+
+/// A cloneable handle recording spans and events against a shared
+/// simulated clock. A disabled tracer ([`Tracer::disabled`], also the
+/// `Default`) makes every call a no-op, so library code can thread the
+/// handle unconditionally.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Shared>>,
+}
+
+impl Tracer {
+    /// A tracer recording against `clock`.
+    pub fn new(clock: Arc<Mutex<SimClock>>) -> Self {
+        Tracer {
+            inner: Some(Arc::new(Shared {
+                clock,
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// A tracer with its own private clock pinned at `t = 0` — for
+    /// standalone scheduler replays and tests where no engine clock
+    /// exists (all explicit-time methods still work).
+    pub fn standalone() -> Self {
+        Tracer::new(Arc::new(Mutex::new(SimClock::new())))
+    }
+
+    /// True when this handle records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Current simulated time (0.0 when disabled).
+    pub fn now(&self) -> f64 {
+        self.inner.as_ref().map_or(0.0, |sh| sh.clock.lock().now())
+    }
+
+    /// Drop everything recorded so far (between independent runs).
+    pub fn clear(&self) {
+        if let Some(sh) = &self.inner {
+            *sh.state.lock() = State::default();
+        }
+    }
+
+    /// Open a span at the current simulated time and push it on the
+    /// span stack; subsequent spans/instants become its children until
+    /// [`Tracer::end`].
+    pub fn begin(&self, name: impl Into<String>, cat: &'static str) -> SpanId {
+        let t0 = self.now();
+        self.begin_at(name, cat, t0)
+    }
+
+    /// [`Tracer::begin`] at an explicit simulated time.
+    pub fn begin_at(&self, name: impl Into<String>, cat: &'static str, t0: f64) -> SpanId {
+        let Some(sh) = &self.inner else {
+            return SpanId(0);
+        };
+        let mut st = sh.state.lock();
+        let id = SpanId(st.spans.len() as u64);
+        let parent = st.stack.last().copied();
+        st.spans.push(Span {
+            id,
+            parent,
+            name: name.into(),
+            cat,
+            lane: DRIVER_LANE.to_string(),
+            t0,
+            t1: f64::NAN,
+            args: Vec::new(),
+        });
+        st.stack.push(id);
+        id
+    }
+
+    /// Close `id` at the current simulated time.
+    pub fn end(&self, id: SpanId) {
+        let t1 = self.now();
+        self.end_at(id, t1);
+    }
+
+    /// Close `id` at an explicit simulated time. Any spans opened inside
+    /// `id` and still open are closed at the same instant.
+    pub fn end_at(&self, id: SpanId, t1: f64) {
+        let Some(sh) = &self.inner else { return };
+        let mut st = sh.state.lock();
+        let Some(pos) = st.stack.iter().rposition(|s| *s == id) else {
+            return;
+        };
+        let closing: Vec<SpanId> = st.stack.split_off(pos);
+        for sid in closing {
+            let span = &mut st.spans[sid.index()];
+            if span.t1.is_nan() {
+                span.t1 = t1;
+            }
+        }
+    }
+
+    /// Attach an argument to an already-recorded span.
+    pub fn set_arg(&self, id: SpanId, key: impl Into<String>, value: Payload) {
+        let Some(sh) = &self.inner else { return };
+        let mut st = sh.state.lock();
+        if let Some(span) = st.spans.get_mut(id.index()) {
+            span.args.push((key.into(), value));
+        }
+    }
+
+    /// Record a completed child span of the current stack top on the
+    /// driver lane (does not touch the stack).
+    pub fn span_at(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        t0: f64,
+        t1: f64,
+        args: Args,
+    ) -> SpanId {
+        self.span_at_in(DRIVER_LANE, name, cat, t0, t1, args)
+    }
+
+    /// Record a completed child span of the current stack top on an
+    /// explicit display lane.
+    pub fn span_at_in(
+        &self,
+        lane: &str,
+        name: impl Into<String>,
+        cat: &'static str,
+        t0: f64,
+        t1: f64,
+        args: Args,
+    ) -> SpanId {
+        let Some(sh) = &self.inner else {
+            return SpanId(0);
+        };
+        let mut st = sh.state.lock();
+        let id = SpanId(st.spans.len() as u64);
+        let parent = st.stack.last().copied();
+        st.spans.push(Span {
+            id,
+            parent,
+            name: name.into(),
+            cat,
+            lane: lane.to_string(),
+            t0,
+            t1,
+            args,
+        });
+        id
+    }
+
+    /// Record an instant event at the current simulated time on the
+    /// driver lane.
+    pub fn instant(&self, name: impl Into<String>, cat: &'static str, args: Args) {
+        let t = self.now();
+        self.instant_at_in(DRIVER_LANE, name, cat, t, args);
+    }
+
+    /// Record an instant event at an explicit simulated time on the
+    /// driver lane.
+    pub fn instant_at(&self, name: impl Into<String>, cat: &'static str, t: f64, args: Args) {
+        self.instant_at_in(DRIVER_LANE, name, cat, t, args);
+    }
+
+    /// Record an instant event on an explicit display lane.
+    pub fn instant_at_in(
+        &self,
+        lane: &str,
+        name: impl Into<String>,
+        cat: &'static str,
+        t: f64,
+        args: Args,
+    ) {
+        let Some(sh) = &self.inner else { return };
+        let mut st = sh.state.lock();
+        let parent = st.stack.last().copied();
+        st.instants.push(InstantEvent {
+            parent,
+            name: name.into(),
+            cat,
+            lane: lane.to_string(),
+            t,
+            args,
+        });
+    }
+
+    /// Record one ledger charge: an instant named after the traffic
+    /// class, category `traffic`, carrying the byte payload. Called by
+    /// [`crate::traffic::TrafficLedger::add`] on traced ledgers, which
+    /// is what makes traced bytes reconcile exactly with ledger totals.
+    pub fn traffic_event(&self, class: TrafficClass, bytes: u64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.instant(
+            class.label(),
+            "traffic",
+            vec![("bytes".to_string(), Payload::U64(bytes))],
+        );
+    }
+
+    /// Snapshot everything recorded so far. Spans still open are closed
+    /// at the current simulated time *in the snapshot only*.
+    pub fn trace(&self) -> Trace {
+        let Some(sh) = &self.inner else {
+            return Trace::default();
+        };
+        let now = sh.clock.lock().now();
+        let st = sh.state.lock();
+        let mut spans = st.spans.clone();
+        for s in &mut spans {
+            if s.t1.is_nan() {
+                s.t1 = now.max(s.t0);
+            }
+        }
+        Trace {
+            spans,
+            instants: st.instants.clone(),
+        }
+    }
+}
+
+impl Trace {
+    /// The same trace with every `host_*` argument removed — the
+    /// wall-clock measurements that legitimately differ run to run.
+    /// What remains must be identical across rayon pool widths.
+    pub fn without_host_args(&self) -> Trace {
+        let strip = |args: &Args| -> Args {
+            args.iter()
+                .filter(|(k, _)| !k.starts_with("host_"))
+                .cloned()
+                .collect()
+        };
+        Trace {
+            spans: self
+                .spans
+                .iter()
+                .map(|s| Span {
+                    args: strip(&s.args),
+                    ..s.clone()
+                })
+                .collect(),
+            instants: self
+                .instants
+                .iter()
+                .map(|i| InstantEvent {
+                    args: strip(&i.args),
+                    ..i.clone()
+                })
+                .collect(),
+        }
+    }
+
+    /// Sum of traced bytes per traffic class (from `traffic` instants).
+    pub fn traffic_totals(&self) -> TrafficSnapshot {
+        let mut by_label: BTreeMap<&str, u64> = BTreeMap::new();
+        for i in &self.instants {
+            if i.cat != "traffic" {
+                continue;
+            }
+            let bytes = i
+                .args
+                .iter()
+                .find_map(|(k, v)| match (k.as_str(), v) {
+                    ("bytes", Payload::U64(b)) => Some(*b),
+                    _ => None,
+                })
+                .unwrap_or(0);
+            *by_label.entry(i.name.as_str()).or_insert(0) += bytes;
+        }
+        let mut snap = TrafficSnapshot::default();
+        for c in TrafficClass::ALL {
+            snap.set(c, by_label.get(c.label()).copied().unwrap_or(0));
+        }
+        snap
+    }
+
+    /// Export in the Chrome `about:tracing` / Perfetto JSON format:
+    /// complete (`X`) events for spans, instant (`i`) events, and
+    /// `thread_name` metadata naming each lane. Timestamps are
+    /// microseconds of simulated time.
+    pub fn to_chrome_json(&self) -> String {
+        // Intern lanes in first-appearance order; the driver lane is tid 0.
+        fn tid_of(lanes: &mut Vec<String>, lane: &str) -> usize {
+            match lanes.iter().position(|l| l == lane) {
+                Some(i) => i,
+                None => {
+                    lanes.push(lane.to_string());
+                    lanes.len() - 1
+                }
+            }
+        }
+        let mut lanes: Vec<String> = vec![DRIVER_LANE.to_string()];
+        let mut events: Vec<String> = Vec::new();
+        for s in &self.spans {
+            let tid = tid_of(&mut lanes, &s.lane);
+            let dur = (s.t1 - s.t0).max(0.0) * 1e6;
+            events.push(format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\
+                 \"name\":{},\"cat\":{},\"args\":{}}}",
+                s.t0 * 1e6,
+                dur,
+                json_string(&s.name),
+                json_string(s.cat),
+                json_args(&s.args),
+            ));
+        }
+        for i in &self.instants {
+            let tid = tid_of(&mut lanes, &i.lane);
+            events.push(format!(
+                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"s\":\"t\",\
+                 \"name\":{},\"cat\":{},\"args\":{}}}",
+                i.t * 1e6,
+                json_string(&i.name),
+                json_string(i.cat),
+                json_args(&i.args),
+            ));
+        }
+        for (tid, lane) in lanes.iter().enumerate() {
+            events.push(format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                json_string(lane),
+            ));
+        }
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&events.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Escape and quote a string for JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an args list as a JSON object.
+fn json_args(args: &Args) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(k));
+        out.push(':');
+        match v {
+            Payload::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Payload::F64(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Payload::Str(s) => out.push_str(&json_string(s)),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Metrics derived from one [`Trace`]: per-phase simulated time,
+/// per-class bytes, and counter/scheduler-event rollups.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    /// Total simulated seconds per `cat/name` of every phase-like span
+    /// (cats `phase`, `transfer`, `merge`, plus per-iteration cats).
+    pub phase_time_s: BTreeMap<String, f64>,
+    /// Traced bytes per traffic-class label.
+    pub class_bytes: BTreeMap<String, u64>,
+    /// Counter rollups: traced job counters plus `sched.*` / `dfs.*`
+    /// event counts.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl MetricsRegistry {
+    /// Derive metrics from `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut m = MetricsRegistry::default();
+        for s in &trace.spans {
+            let timed = matches!(
+                s.cat,
+                "phase" | "transfer" | "merge" | "be-iteration" | "ic" | "topoff" | "job"
+            );
+            if timed {
+                *m.phase_time_s
+                    .entry(format!("{}/{}", s.cat, s.name))
+                    .or_insert(0.0) += (s.t1 - s.t0).max(0.0);
+            }
+        }
+        for i in &trace.instants {
+            match i.cat {
+                "traffic" => {
+                    let bytes = i
+                        .args
+                        .iter()
+                        .find_map(|(k, v)| match (k.as_str(), v) {
+                            ("bytes", Payload::U64(b)) => Some(*b),
+                            _ => None,
+                        })
+                        .unwrap_or(0);
+                    *m.class_bytes.entry(i.name.clone()).or_insert(0) += bytes;
+                }
+                "counter" => {
+                    let v = i
+                        .args
+                        .iter()
+                        .find_map(|(k, v)| match (k.as_str(), v) {
+                            ("value", Payload::U64(n)) => Some(*n),
+                            _ => None,
+                        })
+                        .unwrap_or(0);
+                    *m.counters.entry(i.name.clone()).or_insert(0) += v;
+                }
+                "sched" => {
+                    *m.counters.entry(format!("sched.{}", i.name)).or_insert(0) += 1;
+                }
+                "dfs" => {
+                    *m.counters.entry(format!("dfs.{}", i.name)).or_insert(0) += 1;
+                }
+                _ => {}
+            }
+        }
+        m
+    }
+
+    /// Plain-text rendering for reports and smoke-run logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("phase time (simulated seconds)\n");
+        for (k, v) in &self.phase_time_s {
+            let _ = writeln!(out, "  {k:<40} {v:>14.3}");
+        }
+        out.push_str("traffic (bytes)\n");
+        for (k, v) in &self.class_bytes {
+            let _ = writeln!(out, "  {k:<40} {v:>14}");
+        }
+        out.push_str("counters\n");
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "  {k:<40} {v:>14}");
+        }
+        out
+    }
+}
+
+/// Reusable trace invariants. Every function returns `Ok(())` or the
+/// list of violations, so test failures show all problems at once and
+/// the CI smoke binary can print them.
+pub mod check {
+    use super::{Payload, Span, Trace};
+    use crate::traffic::{TrafficClass, TrafficSnapshot};
+    use std::collections::BTreeMap;
+
+    /// `a <= b` with a relative epsilon, for simulated-time sums that
+    /// accumulate floating-point error.
+    fn le(a: f64, b: f64) -> bool {
+        a <= b + 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    fn span_label(s: &Span) -> String {
+        format!("{}:{} [{:.6}, {:.6}]", s.cat, s.name, s.t0, s.t1)
+    }
+
+    /// Every span lies inside its parent's window, every span is
+    /// well-formed (`t0 <= t1`), and every instant with a parent lies
+    /// inside that parent's window.
+    pub fn spans_nest(trace: &Trace) -> Result<(), Vec<String>> {
+        let mut errs = Vec::new();
+        for s in &trace.spans {
+            if !le(s.t0, s.t1) {
+                errs.push(format!("span ends before it starts: {}", span_label(s)));
+            }
+            if let Some(pid) = s.parent {
+                let p = &trace.spans[pid.0 as usize];
+                if !le(p.t0, s.t0) || !le(s.t1, p.t1) {
+                    errs.push(format!(
+                        "span escapes parent: child {} not inside parent {}",
+                        span_label(s),
+                        span_label(p)
+                    ));
+                }
+            }
+        }
+        for i in &trace.instants {
+            if let Some(pid) = i.parent {
+                let p = &trace.spans[pid.0 as usize];
+                if !le(p.t0, i.t) || !le(i.t, p.t1) {
+                    errs.push(format!(
+                        "instant escapes parent: {}:{} at {:.6} not inside {}",
+                        i.cat,
+                        i.name,
+                        i.t,
+                        span_label(p)
+                    ));
+                }
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// Every span of category `cat_before` ends no later than every
+    /// span of category `cat_after` starts (e.g. best-effort iterations
+    /// strictly precede top-off iterations).
+    pub fn span_order(trace: &Trace, cat_before: &str, cat_after: &str) -> Result<(), Vec<String>> {
+        let last_before = trace
+            .spans
+            .iter()
+            .filter(|s| s.cat == cat_before)
+            .map(|s| s.t1)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut errs = Vec::new();
+        for s in trace.spans.iter().filter(|s| s.cat == cat_after) {
+            if !le(last_before, s.t0) {
+                errs.push(format!(
+                    "{cat_after} span starts at {:.6} before the last {cat_before} span ends \
+                     at {last_before:.6}: {}",
+                    s.t0,
+                    span_label(s)
+                ));
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// No two `task` spans overlap within one display lane (a simulated
+    /// slot executes at most one task attempt at a time).
+    pub fn no_overlap_per_slot(trace: &Trace) -> Result<(), Vec<String>> {
+        let mut by_lane: BTreeMap<&str, Vec<&Span>> = BTreeMap::new();
+        for s in trace.spans.iter().filter(|s| s.cat == "task") {
+            by_lane.entry(s.lane.as_str()).or_default().push(s);
+        }
+        let mut errs = Vec::new();
+        for (lane, mut spans) in by_lane {
+            spans.sort_by(|a, b| {
+                a.t0.partial_cmp(&b.t0)
+                    .expect("span times are finite")
+                    .then(a.t1.partial_cmp(&b.t1).expect("span times are finite"))
+            });
+            for pair in spans.windows(2) {
+                if !le(pair[0].t1, pair[1].t0) {
+                    errs.push(format!(
+                        "slot lane {lane} runs two tasks at once: {} overlaps {}",
+                        span_label(pair[0]),
+                        span_label(pair[1])
+                    ));
+                }
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// Traced bytes reconcile **exactly** with the ledger: summing the
+    /// `traffic` instants per class equals `ledger` for every class.
+    pub fn bytes_attributed(trace: &Trace, ledger: &TrafficSnapshot) -> Result<(), Vec<String>> {
+        let totals = trace.traffic_totals();
+        let mut errs = Vec::new();
+        for c in TrafficClass::ALL {
+            if totals.get(c) != ledger.get(c) {
+                errs.push(format!(
+                    "class {}: trace attributes {} bytes, ledger recorded {}",
+                    c.label(),
+                    totals.get(c),
+                    ledger.get(c)
+                ));
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// Count the `sched` instants named `name` (retry /
+    /// speculative-launch / straggler-drop).
+    pub fn sched_events(trace: &Trace, name: &str) -> usize {
+        trace
+            .instants
+            .iter()
+            .filter(|i| i.cat == "sched" && i.name == name)
+            .count()
+    }
+
+    /// Sum one traced job counter across all `counter` instants.
+    pub fn counter_total(trace: &Trace, name: &str) -> u64 {
+        trace
+            .instants
+            .iter()
+            .filter(|i| i.cat == "counter" && i.name == name)
+            .map(|i| {
+                i.args
+                    .iter()
+                    .find_map(|(k, v)| match (k.as_str(), v) {
+                        ("value", Payload::U64(n)) => Some(*n),
+                        _ => None,
+                    })
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Run the whole structural suite: nesting, slot non-overlap, and
+    /// exact byte attribution against `ledger`.
+    pub fn validate(trace: &Trace, ledger: &TrafficSnapshot) -> Result<(), Vec<String>> {
+        let mut errs = Vec::new();
+        for r in [
+            spans_nest(trace),
+            no_overlap_per_slot(trace),
+            bytes_attributed(trace, ledger),
+        ] {
+            if let Err(mut e) = r {
+                errs.append(&mut e);
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer() -> (Tracer, Arc<Mutex<SimClock>>) {
+        let clock = Arc::new(Mutex::new(SimClock::new()));
+        (Tracer::new(Arc::clone(&clock)), clock)
+    }
+
+    #[test]
+    fn disabled_tracer_is_a_no_op() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let id = t.begin("x", "job");
+        t.instant("e", "sched", Vec::new());
+        t.end(id);
+        let tr = t.trace();
+        assert!(tr.spans.is_empty());
+        assert!(tr.instants.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_parent_links() {
+        let (t, clock) = tracer();
+        let outer = t.begin("outer", "job");
+        clock.lock().advance(1.0);
+        let inner = t.begin("inner", "phase");
+        t.instant("tick", "sched", Vec::new());
+        clock.lock().advance(1.0);
+        t.end(inner);
+        clock.lock().advance(1.0);
+        t.end(outer);
+        let tr = t.trace();
+        assert_eq!(tr.spans.len(), 2);
+        assert_eq!(tr.spans[1].parent, Some(outer));
+        assert_eq!(tr.spans[0].parent, None);
+        assert_eq!(tr.instants[0].parent, Some(inner));
+        assert_eq!(tr.spans[0].t0, 0.0);
+        assert_eq!(tr.spans[0].t1, 3.0);
+        assert_eq!(tr.spans[1].t0, 1.0);
+        assert_eq!(tr.spans[1].t1, 2.0);
+        check::spans_nest(&tr).unwrap();
+    }
+
+    #[test]
+    fn end_closes_abandoned_children() {
+        let (t, clock) = tracer();
+        let outer = t.begin("outer", "job");
+        let _inner = t.begin("inner", "phase");
+        clock.lock().advance(2.0);
+        t.end(outer); // inner never ended explicitly
+        let tr = t.trace();
+        assert_eq!(tr.spans[1].t1, 2.0);
+        // The stack is empty again: a new span is a root.
+        let root = t.begin("next", "job");
+        assert_eq!(t.trace().spans[root.index()].parent, None);
+    }
+
+    #[test]
+    fn open_spans_close_in_snapshot_only() {
+        let (t, clock) = tracer();
+        t.begin("open", "job");
+        clock.lock().advance(5.0);
+        let tr = t.trace();
+        assert_eq!(tr.spans[0].t1, 5.0);
+        clock.lock().advance(1.0);
+        assert_eq!(t.trace().spans[0].t1, 6.0, "still open in the tracer");
+    }
+
+    #[test]
+    fn traffic_events_reconcile_exactly() {
+        let (t, _clock) = tracer();
+        t.traffic_event(TrafficClass::Broadcast, 100);
+        t.traffic_event(TrafficClass::Broadcast, 23);
+        t.traffic_event(TrafficClass::Merge, 7);
+        let tr = t.trace();
+        let mut expect = TrafficSnapshot::default();
+        expect.set(TrafficClass::Broadcast, 123);
+        expect.set(TrafficClass::Merge, 7);
+        assert_eq!(tr.traffic_totals(), expect);
+        check::bytes_attributed(&tr, &expect).unwrap();
+        expect.set(TrafficClass::Merge, 8);
+        assert!(check::bytes_attributed(&tr, &expect).is_err());
+    }
+
+    #[test]
+    fn nesting_violation_is_reported() {
+        let (t, clock) = tracer();
+        let outer = t.begin("outer", "job");
+        // Child claims to run past its parent's end.
+        t.span_at("escapee", "phase", 0.5, 9.0, Vec::new());
+        clock.lock().advance(1.0);
+        t.end(outer);
+        let errs = check::spans_nest(&t.trace()).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("escapee"), "{errs:?}");
+    }
+
+    #[test]
+    fn slot_overlap_is_reported() {
+        let (t, _clock) = tracer();
+        t.span_at_in("map-slot-0", "t0", "task", 0.0, 2.0, Vec::new());
+        t.span_at_in("map-slot-0", "t1", "task", 1.0, 3.0, Vec::new());
+        t.span_at_in("map-slot-1", "t2", "task", 1.0, 3.0, Vec::new());
+        let errs = check::no_overlap_per_slot(&t.trace()).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("map-slot-0"));
+        // Touching endpoints are fine.
+        let (t2, _c) = tracer();
+        t2.span_at_in("s", "a", "task", 0.0, 1.0, Vec::new());
+        t2.span_at_in("s", "b", "task", 1.0, 2.0, Vec::new());
+        check::no_overlap_per_slot(&t2.trace()).unwrap();
+    }
+
+    #[test]
+    fn span_order_detects_interleaving() {
+        let (t, _clock) = tracer();
+        t.span_at("be-1", "be-iteration", 0.0, 1.0, Vec::new());
+        t.span_at("topoff-1", "topoff", 1.0, 2.0, Vec::new());
+        check::span_order(&t.trace(), "be-iteration", "topoff").unwrap();
+        t.span_at("be-2", "be-iteration", 2.0, 3.0, Vec::new());
+        assert!(check::span_order(&t.trace(), "be-iteration", "topoff").is_err());
+    }
+
+    #[test]
+    fn without_host_args_strips_only_host_keys() {
+        let (t, _clock) = tracer();
+        t.span_at(
+            "sort",
+            "phase",
+            0.0,
+            0.0,
+            vec![
+                ("host_partition_s".into(), Payload::F64(0.001)),
+                ("records".into(), Payload::U64(5)),
+            ],
+        );
+        let tr = t.trace().without_host_args();
+        assert_eq!(tr.spans[0].args.len(), 1);
+        assert_eq!(tr.spans[0].args[0].0, "records");
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let (t, clock) = tracer();
+        let job = t.begin("job:\"quoted\"\n", "job");
+        t.span_at_in("map-slot-0", "task-0", "task", 0.0, 0.5, Vec::new());
+        t.instant("retry", "sched", vec![("task".into(), Payload::U64(3))]);
+        clock.lock().advance(1.0);
+        t.end(job);
+        let json = t.trace().to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("map-slot-0"));
+        // Escaping: the quote and newline must not appear raw.
+        assert!(json.contains("job:\\\"quoted\\\"\\n"));
+        // Span duration is 1 s = 1e6 µs.
+        assert!(json.contains("\"dur\":1000000.000"));
+        // Balanced braces/brackets (cheap structural sanity).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn metrics_registry_rolls_up() {
+        let (t, _clock) = tracer();
+        t.span_at("map", "phase", 0.0, 2.0, Vec::new());
+        t.span_at("map", "phase", 2.0, 3.0, Vec::new());
+        t.traffic_event(TrafficClass::MapSpill, 10);
+        t.instant(
+            "points",
+            "counter",
+            vec![("value".into(), Payload::U64(42))],
+        );
+        t.instant("retry", "sched", Vec::new());
+        t.instant("retry", "sched", Vec::new());
+        let m = MetricsRegistry::from_trace(&t.trace());
+        assert_eq!(m.phase_time_s.get("phase/map").copied(), Some(3.0));
+        assert_eq!(m.class_bytes.get("map-spill").copied(), Some(10));
+        assert_eq!(m.counters.get("points").copied(), Some(42));
+        assert_eq!(m.counters.get("sched.retry").copied(), Some(2));
+        let rendered = m.render();
+        assert!(rendered.contains("phase/map"));
+        assert!(rendered.contains("map-spill"));
+        assert!(rendered.contains("sched.retry"));
+    }
+}

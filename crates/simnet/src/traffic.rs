@@ -87,6 +87,7 @@ impl TrafficClass {
 #[derive(Debug, Default)]
 pub struct TrafficLedger {
     bytes: [AtomicU64; 9],
+    tracer: crate::trace::Tracer,
 }
 
 impl TrafficLedger {
@@ -95,9 +96,20 @@ impl TrafficLedger {
         Self::default()
     }
 
+    /// An empty ledger that reports every charge to `tracer` as a
+    /// `traffic` instant event. Because the ledger itself is the event
+    /// source, trace-attributed bytes equal ledger totals exactly.
+    pub fn traced(tracer: crate::trace::Tracer) -> Self {
+        TrafficLedger {
+            bytes: Default::default(),
+            tracer,
+        }
+    }
+
     /// Add `bytes` to `class`.
     pub fn add(&self, class: TrafficClass, bytes: u64) {
         self.bytes[class.index()].fetch_add(bytes, Ordering::Relaxed);
+        self.tracer.traffic_event(class, bytes);
     }
 
     /// Bytes recorded for `class` so far.
@@ -135,7 +147,7 @@ impl TrafficSnapshot {
         self.bytes[class.index()]
     }
 
-    fn set(&mut self, class: TrafficClass, v: u64) {
+    pub(crate) fn set(&mut self, class: TrafficClass, v: u64) {
         self.bytes[class.index()] = v;
     }
 

@@ -289,15 +289,18 @@ fn pipeline_is_deterministic_across_pool_widths() {
             &engine_reducer(),
         );
         let delta = engine.traffic().delta_since(&before);
-        (result.output, result.stats, delta)
+        // Host wall-clock measurements ride along as `host_*` args and
+        // legitimately vary; everything else in the trace must not.
+        let trace = engine.trace().without_host_args();
+        (result.output, result.stats, delta, trace)
     };
 
     let serial_pool = rayon::ThreadPoolBuilder::new()
         .num_threads(1)
         .build()
         .expect("pool");
-    let (out_1, stats_1, traffic_1) = serial_pool.install(run);
-    let (out_n, stats_n, traffic_n) = run(); // default-width pool
+    let (out_1, stats_1, traffic_1, trace_1) = serial_pool.install(run);
+    let (out_n, stats_n, traffic_n, trace_n) = run(); // default-width pool
 
     assert_eq!(out_1, out_n, "output must not depend on thread count");
     assert_eq!(
@@ -309,7 +312,12 @@ fn pipeline_is_deterministic_across_pool_widths() {
         deterministic_stats(&stats_n),
         "simulated stats must not depend on thread count"
     );
+    assert_eq!(
+        trace_1, trace_n,
+        "trace (modulo host_* args) must not depend on thread count"
+    );
     assert!(!out_1.is_empty());
+    assert!(!trace_1.spans.is_empty());
 
     // A second identical run in a fresh 1-thread pool reproduces the
     // 1-thread run bit for bit.
@@ -317,11 +325,12 @@ fn pipeline_is_deterministic_across_pool_widths() {
         .num_threads(1)
         .build()
         .expect("pool");
-    let (out_again, stats_again, traffic_again) = serial_pool_2.install(run);
+    let (out_again, stats_again, traffic_again, trace_again) = serial_pool_2.install(run);
     assert_eq!(out_1, out_again);
     assert_eq!(traffic_1, traffic_again);
     assert_eq!(
         deterministic_stats(&stats_1),
         deterministic_stats(&stats_again)
     );
+    assert_eq!(trace_1, trace_again);
 }
