@@ -15,7 +15,8 @@ fn bench_engine(c: &mut Criterion) {
     g.sample_size(10);
 
     for n in [10_000usize, 100_000] {
-        let engine = Engine::new(ClusterSpec::small());
+        // Untraced: measure the engine, not span recording.
+        let engine = Engine::untraced(ClusterSpec::small());
         let data = Dataset::create(&engine, "/b/mr", (0..n as u64).collect(), 24);
         let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| {
             ctx.emit(*x % 1000, 1);
@@ -66,7 +67,9 @@ fn bench_wide_shuffle(c: &mut Criterion) {
     g.sample_size(10);
 
     for n in [50_000usize, 200_000] {
-        let engine = Engine::new(ClusterSpec::small());
+        // The disabled tracer's early-return path is what keeps the hot
+        // emit/charge loop allocation-free here.
+        let engine = Engine::untraced(ClusterSpec::small());
         let data = Dataset::create(&engine, "/b/wide", (0..n as u64).collect(), 24);
         // ~n/2 distinct keys: almost every pair starts its own group, so
         // grouping cost scales with shuffle volume rather than key count.

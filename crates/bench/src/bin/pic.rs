@@ -8,8 +8,18 @@
 //! pic linsolve  --n 100 --partitions 5
 //! pic smoothing --side 256 --partitions 16 --cluster medium
 //! ```
+//!
+//! The `report` subcommand runs the trace-analysis pipeline instead:
+//! critical paths, straggler rollups, the paper's per-iteration Fig. 2
+//! decomposition, invariant checking, and `BENCH_pic.json` emission
+//! (DESIGN.md §9):
+//!
+//! ```text
+//! pic report --scale 0.05 --check --json target/BENCH_pic.json --traces target/traces
+//! ```
 
 use pic_bench::experiments::common::cost;
+use pic_bench::experiments::{report as perf, ExperimentCtx};
 use pic_bench::table::{fmt_bytes, fmt_secs, fmt_x, Table};
 use pic_core::prelude::*;
 use pic_mapreduce::{Dataset, Engine};
@@ -98,9 +108,127 @@ fn usage(err: &str) -> ! {
            --side <pixels>      smoothing image side (default 256)\n\
            --partitions <p>     PIC sub-problem count (default 24)\n\
            --cluster <c>        small | medium | large:N (default small)\n\
-           --seed <s>           workload seed (default 42)"
+           --seed <s>           workload seed (default 42)\n\
+         \n\
+         usage: pic report [flags] — trace-driven perf analysis (DESIGN.md §9)\n\
+         \n\
+         flags:\n\
+           --scale <f>          workload scale multiplier (default 1.0)\n\
+           --apps <a,b,..>      subset of kmeans,pagerank,neuralnet,linsolve,smoothing\n\
+           --json <path>        write the schema-versioned BENCH_pic.json here\n\
+           --traces <dir>       export Chrome about:tracing JSON per app/run\n\
+           --path-limit <n>     critical-path lines to print (default 40, 0 = all)\n\
+           --check              validate every trace invariant; exit 1 on violation"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// `pic report`: run the comparisons, print perf reports, optionally
+/// validate, export traces, and write `BENCH_pic.json`.
+fn run_report(argv: &[String]) -> ! {
+    let mut ctx = ExperimentCtx::default();
+    let mut apps: Vec<String> = perf::APPS.iter().map(|s| s.to_string()).collect();
+    let mut json_path: Option<String> = None;
+    let mut traces_dir: Option<String> = None;
+    let mut check = false;
+    let mut path_limit = 40usize;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| usage("flag needs a value"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--scale" => {
+                ctx.scale = take(&mut i).parse().unwrap_or_else(|_| usage("--scale"));
+                if !(ctx.scale > 0.0) {
+                    usage("--scale must be positive");
+                }
+            }
+            "--apps" => {
+                apps = take(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--json" => json_path = Some(take(&mut i)),
+            "--traces" => traces_dir = Some(take(&mut i)),
+            "--path-limit" => {
+                path_limit = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--path-limit"));
+            }
+            "--check" => check = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+
+    let app_refs: Vec<&str> = apps.iter().map(String::as_str).collect();
+    let runs = perf::collect(&ctx, &app_refs).unwrap_or_else(|e| usage(&e));
+
+    for run in &runs {
+        println!("{}", run.render(path_limit));
+    }
+
+    if let Some(dir) = &traces_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("[pic report] cannot create {dir}: {e}");
+            std::process::exit(2);
+        });
+        for run in &runs {
+            for (side, trace) in [("ic", &run.ic_trace), ("pic", &run.pic_trace)] {
+                let path = format!("{dir}/{}_{side}_trace.json", run.app);
+                std::fs::write(&path, trace.to_chrome_json()).unwrap_or_else(|e| {
+                    eprintln!("[pic report] cannot write {path}: {e}");
+                    std::process::exit(2);
+                });
+                eprintln!(
+                    "[pic report] wrote {path} ({} spans, {} instants)",
+                    trace.spans.len(),
+                    trace.instants.len()
+                );
+            }
+        }
+    }
+
+    if let Some(path) = &json_path {
+        let doc = perf::bench_json(&ctx, &runs);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[pic report] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[pic report] wrote {path} ({} bytes)", doc.len());
+    }
+
+    if check {
+        let mut failures = 0;
+        for run in &runs {
+            let errs = run.validate();
+            for e in &errs {
+                eprintln!("[pic report] violation: {e}");
+            }
+            if errs.is_empty() {
+                eprintln!(
+                    "[pic report] {} traces ok ({} + {} spans, bytes reconcile exactly)",
+                    run.app,
+                    run.ic_trace.spans.len(),
+                    run.pic_trace.spans.len()
+                );
+            }
+            failures += errs.len();
+        }
+        if failures > 0 {
+            eprintln!("[pic report] {failures} invariant violation(s)");
+            std::process::exit(1);
+        }
+        eprintln!("[pic report] all trace invariants hold");
+    }
+    std::process::exit(0);
 }
 
 /// Run one app through both drivers and print the comparison.
@@ -185,6 +313,11 @@ fn report<A: PicApp>(
 }
 
 fn main() {
+    // `report` is a subcommand with its own flag set, not an app run.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("report") {
+        run_report(&argv[1..]);
+    }
     let args = Args::parse();
     let spec = args.cluster_spec();
     println!(

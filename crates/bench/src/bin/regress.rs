@@ -1,0 +1,170 @@
+//! `regress` — the CI performance-regression gate.
+//!
+//! Re-runs the `pic report` suite, writes the fresh `BENCH_pic.json`,
+//! and diffs it against the committed baseline under the tolerance
+//! bands of DESIGN.md §9: bytes / counters / structure compare exactly,
+//! simulated seconds (`*_s`) and ratios (`*_x`) within a relative
+//! epsilon, and `host_*` keys are ignored. Exits:
+//!
+//! * `0` — fresh report matches the baseline;
+//! * `1` — regression (any diff line);
+//! * `2` — configuration problem (missing baseline, scale mismatch, …).
+//!
+//! ```text
+//! regress [--baseline BENCH_pic.json] [--scale 0.05] \
+//!         [--out target/BENCH_pic.fresh.json] [--epsilon 1e-9] [--update]
+//! ```
+//!
+//! `--update` rewrites the baseline from the fresh run instead of
+//! diffing (how the committed file is regenerated after an intentional
+//! performance change).
+
+use pic_bench::experiments::{report as perf, ExperimentCtx};
+use pic_bench::json;
+
+struct Flags {
+    baseline: String,
+    out: String,
+    scale: f64,
+    epsilon: f64,
+    update: bool,
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: regress [--baseline <path>] [--scale <f>] [--out <path>] \
+         [--epsilon <e>] [--update]\n\n\
+         Runs the pic-report suite and diffs the fresh BENCH_pic.json against\n\
+         the committed baseline (exact for bytes/counters, relative epsilon\n\
+         for *_s / *_x keys, host_* ignored). --update rewrites the baseline.\n\
+         Defaults: --baseline BENCH_pic.json --scale 0.05\n\
+         --out target/BENCH_pic.fresh.json --epsilon 1e-9"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        baseline: "BENCH_pic.json".to_string(),
+        out: "target/BENCH_pic.fresh.json".to_string(),
+        scale: 0.05,
+        epsilon: 1e-9,
+        update: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| usage("flag needs a value"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--baseline" => flags.baseline = take(&mut i),
+            "--out" => flags.out = take(&mut i),
+            "--scale" => {
+                flags.scale = take(&mut i).parse().unwrap_or_else(|_| usage("--scale"));
+                if !(flags.scale > 0.0) {
+                    usage("--scale must be positive");
+                }
+            }
+            "--epsilon" => {
+                flags.epsilon = take(&mut i).parse().unwrap_or_else(|_| usage("--epsilon"));
+            }
+            "--update" => flags.update = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn main() {
+    let flags = parse_flags();
+    let ctx = ExperimentCtx { scale: flags.scale };
+
+    let t0 = std::time::Instant::now();
+    let app_refs: Vec<&str> = perf::APPS.to_vec();
+    let runs = perf::collect(&ctx, &app_refs).unwrap_or_else(|e| usage(&e));
+    let fresh_text = perf::bench_json(&ctx, &runs);
+    eprintln!(
+        "[regress] suite ran in {:.1}s (host time) at scale {}",
+        t0.elapsed().as_secs_f64(),
+        flags.scale
+    );
+
+    if let Some(dir) = std::path::Path::new(&flags.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("[regress] cannot create {}: {e}", dir.display());
+                std::process::exit(2);
+            });
+        }
+    }
+    std::fs::write(&flags.out, &fresh_text).unwrap_or_else(|e| {
+        eprintln!("[regress] cannot write {}: {e}", flags.out);
+        std::process::exit(2);
+    });
+    eprintln!("[regress] wrote fresh report to {}", flags.out);
+
+    if flags.update {
+        std::fs::write(&flags.baseline, &fresh_text).unwrap_or_else(|e| {
+            eprintln!("[regress] cannot write {}: {e}", flags.baseline);
+            std::process::exit(2);
+        });
+        eprintln!("[regress] baseline {} updated", flags.baseline);
+        return;
+    }
+
+    let baseline_text = std::fs::read_to_string(&flags.baseline).unwrap_or_else(|e| {
+        eprintln!(
+            "[regress] cannot read baseline {}: {e}\n\
+             [regress] generate it with: regress --update --scale {}",
+            flags.baseline, flags.scale
+        );
+        std::process::exit(2);
+    });
+    let baseline = json::parse(&baseline_text).unwrap_or_else(|e| {
+        eprintln!(
+            "[regress] baseline {} is not valid JSON: {e}",
+            flags.baseline
+        );
+        std::process::exit(2);
+    });
+    let fresh = json::parse(&fresh_text).expect("bench_json emits valid JSON");
+
+    // A baseline recorded at a different scale would diff everywhere;
+    // refuse up front with a clear message instead.
+    let baseline_scale = baseline.get("scale").and_then(|v| v.as_f64());
+    if baseline_scale != Some(flags.scale) {
+        eprintln!(
+            "[regress] baseline {} was recorded at scale {:?}, this run is at {} — \
+             pass a matching --scale or refresh with --update",
+            flags.baseline, baseline_scale, flags.scale
+        );
+        std::process::exit(2);
+    }
+
+    let diffs = json::diff(&baseline, &fresh, flags.epsilon);
+    if diffs.is_empty() {
+        eprintln!(
+            "[regress] PASS: fresh report matches {} within tolerance",
+            flags.baseline
+        );
+        return;
+    }
+    eprintln!(
+        "[regress] FAIL: {} regression(s) against {}:",
+        diffs.len(),
+        flags.baseline
+    );
+    for d in &diffs {
+        eprintln!("[regress]   {d}");
+    }
+    std::process::exit(1);
+}

@@ -1,17 +1,24 @@
-//! Trace smoke run: execute the Figure 2 experiment, validate both runs'
-//! traces against the structural invariant suite (span nesting, per-slot
-//! exclusivity, exact byte attribution against the ledger, best-effort
-//! before top-off), and export them as Chrome `about:tracing` JSON.
+//! Trace smoke run — a thin wrapper over the shared `pic report`
+//! pipeline (`experiments::report`), kept as its own binary so CI's
+//! trace job stays a one-liner.
+//!
+//! Runs **all five apps** (kmeans via the paper's Figure 2 configuration,
+//! plus pagerank / neuralnet / linsolve / smoothing), validates every
+//! run's trace against the structural invariant suite (span nesting,
+//! per-slot exclusivity, exact byte attribution against the ledger,
+//! best-effort before top-off, per-iteration reconciliation), and
+//! exports Chrome `about:tracing` JSON per app and run.
 //!
 //! ```text
 //! trace_smoke [--scale <f>] [--out <dir>]
 //! ```
 //!
 //! Exits non-zero if any invariant is violated, so CI can gate on it.
+//! `pic report --check --traces <dir>` runs the identical pipeline with
+//! more knobs; this binary exists so the smoke path cannot drift from it.
 
-use pic_bench::experiments::{fig2, ExperimentCtx};
-use pic_simnet::trace::check;
-use pic_simnet::{MetricsRegistry, Trace, TrafficSnapshot};
+use pic_bench::experiments::{report as perf, ExperimentCtx};
+use pic_simnet::MetricsRegistry;
 use std::path::PathBuf;
 
 fn main() {
@@ -46,71 +53,66 @@ fn main() {
     }
 
     let t0 = std::time::Instant::now();
-    let (report, cmp) = fig2::run_full(&ctx);
-    print!("{report}");
+    let app_refs: Vec<&str> = perf::APPS.to_vec();
+    let runs = perf::collect(&ctx, &app_refs).unwrap_or_else(|e| usage(&e));
     eprintln!(
-        "[trace_smoke] fig2 at scale {} completed in {:.1}s (host time)",
+        "[trace_smoke] {} apps at scale {} completed in {:.1}s (host time)",
+        runs.len(),
         ctx.scale,
         t0.elapsed().as_secs_f64()
     );
-
-    let mut failures = 0;
-    failures += validate_run("ic", &cmp.ic_trace, &cmp.ic_traffic);
-    failures += validate_run("pic", &cmp.pic_trace, &cmp.pic_traffic);
-    if let Err(errs) = check::span_order(&cmp.pic_trace, "be-iteration", "topoff") {
-        failures += errs.len();
-        for e in &errs {
-            eprintln!("[trace_smoke] pic trace ordering violation: {e}");
-        }
-    }
 
     std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
         eprintln!("[trace_smoke] cannot create {}: {e}", out_dir.display());
         std::process::exit(2);
     });
-    for (name, trace) in [("ic", &cmp.ic_trace), ("pic", &cmp.pic_trace)] {
-        let path = out_dir.join(format!("fig2_{name}_trace.json"));
-        if let Err(e) = std::fs::write(&path, trace.to_chrome_json()) {
-            eprintln!("[trace_smoke] cannot write {}: {e}", path.display());
-            std::process::exit(2);
+
+    let mut failures = 0;
+    for run in &runs {
+        let errs = run.validate();
+        for e in &errs {
+            eprintln!("[trace_smoke] violation: {e}");
         }
-        eprintln!(
-            "[trace_smoke] wrote {} ({} spans, {} instants)",
-            path.display(),
-            trace.spans.len(),
-            trace.instants.len()
-        );
+        if errs.is_empty() {
+            eprintln!(
+                "[trace_smoke] {} traces ok: {} + {} spans, bytes reconcile exactly, \
+                 speedup {:.2}x",
+                run.app,
+                run.ic_trace.spans.len(),
+                run.pic_trace.spans.len(),
+                run.speedup_x()
+            );
+        }
+        failures += errs.len();
+
+        for (side, trace) in [("ic", &run.ic_trace), ("pic", &run.pic_trace)] {
+            let path = out_dir.join(format!("{}_{side}_trace.json", run.app));
+            if let Err(e) = std::fs::write(&path, trace.to_chrome_json()) {
+                eprintln!("[trace_smoke] cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            eprintln!(
+                "[trace_smoke] wrote {} ({} spans, {} instants)",
+                path.display(),
+                trace.spans.len(),
+                trace.instants.len()
+            );
+        }
     }
 
-    println!("\nPIC run metrics (derived from the trace)\n");
-    println!("{}", MetricsRegistry::from_trace(&cmp.pic_trace).render());
+    if let Some(kmeans) = runs.iter().find(|r| r.app == "kmeans") {
+        println!("\nPIC k-means (fig2) metrics, derived from the trace\n");
+        println!(
+            "{}",
+            MetricsRegistry::from_trace(&kmeans.pic_trace).render()
+        );
+    }
 
     if failures > 0 {
         eprintln!("[trace_smoke] {failures} invariant violation(s)");
         std::process::exit(1);
     }
-    eprintln!("[trace_smoke] all trace invariants hold");
-}
-
-/// Run the structural suite on one run's trace; returns the violation
-/// count (0 = clean).
-fn validate_run(name: &str, trace: &Trace, ledger: &TrafficSnapshot) -> usize {
-    match check::validate(trace, ledger) {
-        Ok(()) => {
-            eprintln!(
-                "[trace_smoke] {name} trace ok: {} spans, {} instants, bytes reconcile exactly",
-                trace.spans.len(),
-                trace.instants.len()
-            );
-            0
-        }
-        Err(errs) => {
-            for e in &errs {
-                eprintln!("[trace_smoke] {name} trace violation: {e}");
-            }
-            errs.len()
-        }
-    }
+    eprintln!("[trace_smoke] all trace invariants hold for all apps");
 }
 
 fn usage(err: &str) -> ! {
@@ -119,8 +121,9 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: trace_smoke [--scale <f>] [--out <dir>]\n\n\
-         Runs the fig2 experiment, checks every trace invariant, and writes\n\
-         Chrome about:tracing JSON files to <dir> (default target/traces)."
+         Runs all five apps IC-vs-PIC, checks every trace invariant, and\n\
+         writes Chrome about:tracing JSON files to <dir> (default\n\
+         target/traces). Equivalent to `pic report --check --traces <dir>`."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

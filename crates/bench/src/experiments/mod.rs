@@ -9,6 +9,7 @@
 pub mod ablation;
 pub mod common;
 pub mod fig2;
+pub mod report;
 pub mod speedups;
 pub mod tables;
 pub mod trajectories;

@@ -1,0 +1,269 @@
+//! The `pic report` pipeline: run every app's IC-vs-PIC comparison,
+//! analyse both traces with [`PerfReport`], validate the structural
+//! invariants, and assemble the schema-versioned `BENCH_pic.json` the
+//! regression gate diffs (DESIGN.md §9 documents the schema).
+//!
+//! K-means runs the paper's Figure 2 configuration (medium cluster) —
+//! the run the acceptance criteria name; the other four apps run their
+//! Fig. 9/10 small-cluster configurations at sizes that stay meaningful
+//! down to smoke scales. Every comparison uses `Timing::PerRecord`, so
+//! the simulated results — and therefore the whole JSON apart from
+//! `host_*` keys — are byte-identical across rayon pool widths.
+
+use super::common::Comparison;
+use super::{fig2, speedups, ExperimentCtx};
+use pic_simnet::report::{fmt_f64, PerfReport, REPORT_SCHEMA_VERSION};
+use pic_simnet::trace::check;
+use pic_simnet::{ClusterSpec, Trace, TrafficSnapshot};
+
+/// The five applications, in report order.
+pub const APPS: [&str; 5] = ["kmeans", "pagerank", "neuralnet", "linsolve", "smoothing"];
+
+/// One app's collected artifacts: both runs' traces and ledgers plus the
+/// headline times.
+#[derive(Debug)]
+pub struct AppRun {
+    /// Application name (one of [`APPS`]).
+    pub app: &'static str,
+    /// Which paper experiment the configuration mirrors.
+    pub experiment: &'static str,
+    /// Trace of the IC baseline run.
+    pub ic_trace: Trace,
+    /// Trace of the PIC run.
+    pub pic_trace: Trace,
+    /// IC engine ledger totals (exact reconciliation target).
+    pub ic_traffic: TrafficSnapshot,
+    /// PIC engine ledger totals.
+    pub pic_traffic: TrafficSnapshot,
+    /// IC total simulated seconds.
+    pub ic_time_s: f64,
+    /// PIC total simulated seconds.
+    pub pic_time_s: f64,
+    /// Host wall-clock seconds spent producing this comparison.
+    pub host_elapsed_s: f64,
+}
+
+impl AppRun {
+    fn from_cmp<M>(
+        app: &'static str,
+        experiment: &'static str,
+        cmp: Comparison<M>,
+        host_elapsed_s: f64,
+    ) -> AppRun {
+        AppRun {
+            app,
+            experiment,
+            ic_time_s: cmp.ic.total_time_s,
+            pic_time_s: cmp.pic.total_time_s,
+            ic_trace: cmp.ic_trace,
+            pic_trace: cmp.pic_trace,
+            ic_traffic: cmp.ic_traffic,
+            pic_traffic: cmp.pic_traffic,
+            host_elapsed_s,
+        }
+    }
+
+    /// PIC-over-IC speedup.
+    pub fn speedup_x(&self) -> f64 {
+        pic_core::report::speedup(self.ic_time_s, self.pic_time_s)
+    }
+
+    /// Run the full structural suite on both traces (nesting, per-slot
+    /// exclusivity, exact byte attribution, BE-before-top-off ordering,
+    /// per-iteration reconciliation); returns prefixed violation lines.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        let mut take = |prefix: &str, r: Result<(), Vec<String>>| {
+            if let Err(es) = r {
+                errs.extend(
+                    es.into_iter()
+                        .map(|e| format!("{}/{prefix}: {e}", self.app)),
+                );
+            }
+        };
+        take("ic", check::validate(&self.ic_trace, &self.ic_traffic));
+        take("pic", check::validate(&self.pic_trace, &self.pic_traffic));
+        take(
+            "pic",
+            check::span_order(&self.pic_trace, "be-iteration", "topoff"),
+        );
+        take(
+            "ic",
+            PerfReport::from_trace(&self.ic_trace).reconcile(&self.ic_traffic),
+        );
+        take(
+            "pic",
+            PerfReport::from_trace(&self.pic_trace).reconcile(&self.pic_traffic),
+        );
+        errs
+    }
+
+    /// Human-readable report for both runs.
+    pub fn render(&self, path_limit: usize) -> String {
+        format!(
+            "=== {} ({}) — speedup {:.2}x ===\n\n--- IC baseline ---\n{}\n--- PIC ---\n{}",
+            self.app,
+            self.experiment,
+            self.speedup_x(),
+            PerfReport::from_trace(&self.ic_trace).render(path_limit),
+            PerfReport::from_trace(&self.pic_trace).render(path_limit),
+        )
+    }
+}
+
+/// Run the comparisons for `apps` (subset of [`APPS`]) at `ctx.scale`.
+/// Unknown names are an error listing the valid set.
+pub fn collect(ctx: &ExperimentCtx, apps: &[&str]) -> Result<Vec<AppRun>, String> {
+    let mut runs = Vec::new();
+    for &app in apps {
+        let t0 = std::time::Instant::now();
+        let run = match app {
+            // The acceptance-named run: paper Fig. 2, medium cluster.
+            "kmeans" => {
+                let (_, cmp) = fig2::run_full(ctx);
+                AppRun::from_cmp("kmeans", "fig2", cmp, t0.elapsed().as_secs_f64())
+            }
+            "pagerank" => {
+                let cmp = speedups::pagerank_cmp(&ClusterSpec::small(), ctx.n(20_000, 1_000), 18);
+                AppRun::from_cmp("pagerank", "fig9", cmp, t0.elapsed().as_secs_f64())
+            }
+            "neuralnet" => {
+                let cmp = speedups::neuralnet_cmp(&ClusterSpec::small(), ctx.n(10_000, 500), 12);
+                AppRun::from_cmp("neuralnet", "fig10", cmp, t0.elapsed().as_secs_f64())
+            }
+            // The paper's exact size; scale-independent.
+            "linsolve" => {
+                let cmp = speedups::linsolve_cmp(&ClusterSpec::small(), 100, 5);
+                AppRun::from_cmp("linsolve", "fig9", cmp, t0.elapsed().as_secs_f64())
+            }
+            "smoothing" => {
+                let side = (256.0 * ctx.scale.sqrt()).max(64.0) as usize;
+                let cmp = speedups::smoothing_cmp(&ClusterSpec::small(), side, 16);
+                AppRun::from_cmp("smoothing", "fig11", cmp, t0.elapsed().as_secs_f64())
+            }
+            other => return Err(format!("unknown app '{other}'; known: {APPS:?}")),
+        };
+        runs.push(run);
+    }
+    Ok(runs)
+}
+
+/// Assemble the top-level `BENCH_pic.json` document. Every `host_*` key
+/// sits on its own line so determinism checks can strip them; everything
+/// else is a pure function of the simulated runs.
+pub fn bench_json(ctx: &ExperimentCtx, runs: &[AppRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {REPORT_SCHEMA_VERSION},\n"));
+    out.push_str("  \"suite\": \"pic-report\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", fmt_f64(ctx.scale)));
+    out.push_str("  \"apps\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"app\": \"{}\",\n", run.app));
+        out.push_str(&format!("      \"experiment\": \"{}\",\n", run.experiment));
+        out.push_str(&format!(
+            "      \"speedup_x\": {},\n",
+            fmt_f64(run.speedup_x())
+        ));
+        out.push_str(&format!(
+            "      \"ic_total_s\": {},\n",
+            fmt_f64(run.ic_time_s)
+        ));
+        out.push_str(&format!(
+            "      \"pic_total_s\": {},\n",
+            fmt_f64(run.pic_time_s)
+        ));
+        out.push_str(&format!(
+            "      \"host_elapsed_s\": {},\n",
+            fmt_f64(run.host_elapsed_s)
+        ));
+        // `to_json(6)` indents every line by six spaces; the leading
+        // indent of the first line is dropped because it follows the key.
+        out.push_str("      \"ic\": ");
+        out.push_str(
+            PerfReport::from_trace(&run.ic_trace)
+                .to_json(6)
+                .trim_start(),
+        );
+        out.push_str(",\n");
+        out.push_str("      \"pic\": ");
+        out.push_str(
+            PerfReport::from_trace(&run.pic_trace)
+                .to_json(6)
+                .trim_start(),
+        );
+        out.push('\n');
+        out.push_str(if i + 1 < runs.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    /// One cheap app exercises the full pipeline; the root integration
+    /// suite covers kmeans and the cross-pool identity.
+    fn linsolve_runs() -> Vec<AppRun> {
+        collect(&ExperimentCtx { scale: 0.01 }, &["linsolve"]).unwrap()
+    }
+
+    #[test]
+    fn collect_validates_cleanly_and_serializes() {
+        let ctx = ExperimentCtx { scale: 0.01 };
+        let runs = linsolve_runs();
+        assert_eq!(runs.len(), 1);
+        assert!(runs[0].validate().is_empty());
+        assert!(runs[0].speedup_x() > 1.0);
+
+        let doc = bench_json(&ctx, &runs);
+        let parsed = json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed.get("schema_version").unwrap().as_f64(),
+            Some(REPORT_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(parsed.get("scale").unwrap().as_f64(), Some(0.01));
+        let apps = match parsed.get("apps").unwrap() {
+            json::Json::Arr(a) => a,
+            other => panic!("apps not an array: {other:?}"),
+        };
+        assert_eq!(apps[0].get("app").unwrap().as_str(), Some("linsolve"));
+        assert!(apps[0].get("ic").unwrap().get("total_s").is_some());
+        assert!(apps[0].get("pic").unwrap().get("iterations").is_some());
+        // Self-diff passes; a perturbed copy fails.
+        assert!(json::diff(&parsed, &parsed, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn bench_json_host_lines_are_isolated() {
+        let ctx = ExperimentCtx { scale: 0.01 };
+        let doc = bench_json(&ctx, &linsolve_runs());
+        let host_lines: Vec<&str> = doc.lines().filter(|l| l.contains("host_")).collect();
+        assert_eq!(host_lines.len(), 1, "one host key per app run");
+        assert!(host_lines[0].trim_start().starts_with("\"host_elapsed_s\""));
+    }
+
+    #[test]
+    fn unknown_app_is_rejected() {
+        let err = collect(&ExperimentCtx { scale: 0.01 }, &["nope"]).unwrap_err();
+        assert!(err.contains("unknown app"), "{err}");
+    }
+
+    #[test]
+    fn render_covers_both_sides() {
+        let runs = linsolve_runs();
+        let text = runs[0].render(10);
+        assert!(text.contains("IC baseline"));
+        assert!(text.contains("--- PIC ---"));
+        assert!(text.contains("critical path"));
+        assert!(text.contains("per-iteration decomposition"));
+    }
+}

@@ -1,0 +1,448 @@
+//! Minimal JSON parsing and tolerance-band diffing for the regression
+//! gate.
+//!
+//! The vendored `serde` stand-in is a no-op, so `BENCH_pic.json` is both
+//! written (by `experiments::report`) and read (here) by hand. The parser
+//! keeps each number's **raw literal** alongside its parsed value so that
+//! byte counts and counters can be compared exactly, while simulated
+//! seconds (keys ending `_s`) and ratios (keys ending `_x`) are compared
+//! with a relative epsilon — the tolerance bands DESIGN.md §9 documents.
+//! Keys starting with `host_` carry wall-clock measurements and are
+//! skipped entirely.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object fields keep their file order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number: parsed value plus the raw literal for exact comparison.
+    Num(f64, String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in file order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Field lookup on an object (None for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number's parsed value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string's contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(..) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Parse a complete JSON document; trailing garbage is an error.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_keyword(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, kw: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(kw.as_bytes()) {
+        *pos += kw.len();
+        Ok(value)
+    } else {
+        Err(format!("expected '{kw}' at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let raw = std::str::from_utf8(&b[start..*pos]).expect("digits are ASCII");
+    let v: f64 = raw
+        .parse()
+        .map_err(|_| format!("invalid number '{raw}' at byte {start}"))?;
+    Ok(Json::Num(v, raw.to_string()))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 sequences pass through untouched.
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid UTF-8 in string")?;
+                let ch = s.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected key string at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        fields.push((key, parse_value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Compare `fresh` against `baseline` under the report tolerance bands:
+///
+/// * keys starting `host_` — skipped (wall-clock, legitimately varies);
+/// * numbers under keys ending `_s` or `_x` — relative epsilon;
+/// * every other number — exact (raw literal, then parsed value);
+/// * strings / bools / nulls / structure — exact; missing or extra keys
+///   and length mismatches are regressions.
+///
+/// Returns human-readable regression lines (empty = pass).
+pub fn diff(baseline: &Json, fresh: &Json, epsilon: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    walk("$", "", baseline, fresh, epsilon, &mut out);
+    out
+}
+
+/// True when the innermost object key puts a number under the relative-
+/// epsilon band (simulated seconds `_s`, ratios `_x`).
+fn is_toleranced(key: &str) -> bool {
+    key.ends_with("_s") || key.ends_with("_x")
+}
+
+fn walk(path: &str, key: &str, a: &Json, b: &Json, eps: f64, out: &mut Vec<String>) {
+    match (a, b) {
+        (Json::Obj(af), Json::Obj(bf)) => {
+            for (k, av) in af {
+                if k.starts_with("host_") {
+                    continue;
+                }
+                let child = format!("{path}.{k}");
+                match b.get(k) {
+                    Some(bv) => walk(&child, k, av, bv, eps, out),
+                    None => out.push(format!("{child}: missing from fresh report")),
+                }
+            }
+            for (k, _) in bf {
+                if !k.starts_with("host_") && a.get(k).is_none() {
+                    out.push(format!("{path}.{k}: not present in baseline"));
+                }
+            }
+        }
+        (Json::Arr(ai), Json::Arr(bi)) => {
+            if ai.len() != bi.len() {
+                out.push(format!(
+                    "{path}: length {} in baseline vs {} fresh",
+                    ai.len(),
+                    bi.len()
+                ));
+            }
+            for (i, (av, bv)) in ai.iter().zip(bi).enumerate() {
+                let child = format!("{path}[{i}]");
+                walk(&child, key, av, bv, eps, out);
+            }
+        }
+        (Json::Num(av, araw), Json::Num(bv, braw)) => {
+            if is_toleranced(key) {
+                let tol = eps * av.abs().max(bv.abs()).max(1.0);
+                if (av - bv).abs() > tol {
+                    let mut line = String::new();
+                    let _ = write!(
+                        line,
+                        "{path}: {av} -> {bv} (|Δ| = {:e} beyond relative epsilon {eps:e})",
+                        (av - bv).abs()
+                    );
+                    out.push(line);
+                }
+            } else if araw != braw && av != bv {
+                out.push(format!("{path}: {araw} -> {braw} (exact comparison)"));
+            }
+        }
+        _ if a == b => {}
+        _ => out.push(format!(
+            "{path}: baseline {} {:?} vs fresh {} {:?}",
+            a.type_name(),
+            summarize(a),
+            b.type_name(),
+            summarize(b)
+        )),
+    }
+}
+
+fn summarize(v: &Json) -> String {
+    match v {
+        Json::Null => "null".to_string(),
+        Json::Bool(x) => x.to_string(),
+        Json::Num(_, raw) => raw.clone(),
+        Json::Str(s) => s.clone(),
+        Json::Arr(items) => format!("[{} items]", items.len()),
+        Json::Obj(fields) => format!("{{{} fields}}", fields.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(s: &str) -> Json {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let j = obj(r#"{"a": 1, "b": [1.5, "x", null, true], "c": {"d": -2e3}, "e": "q\"\n"}"#);
+        assert_eq!(j.get("a"), Some(&Json::Num(1.0, "1".into())));
+        assert_eq!(
+            j.get("c").unwrap().get("d").unwrap().as_f64(),
+            Some(-2000.0)
+        );
+        assert_eq!(j.get("e").unwrap().as_str(), Some("q\"\n"));
+        match j.get("b").unwrap() {
+            Json::Arr(items) => assert_eq!(items.len(), 4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{\"k\" 1}").is_err());
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let a = obj(r#"{"x_s": 1.5, "bytes": 100, "name": "k"}"#);
+        assert!(diff(&a, &a, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn exact_keys_catch_off_by_one() {
+        let a = obj(r#"{"bytes": 100}"#);
+        let b = obj(r#"{"bytes": 101}"#);
+        let d = diff(&a, &b, 1e-9);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("$.bytes"), "{d:?}");
+        assert!(d[0].contains("exact"), "{d:?}");
+    }
+
+    #[test]
+    fn seconds_use_relative_epsilon() {
+        let a = obj(r#"{"time_s": 100.0}"#);
+        let within = obj(r#"{"time_s": 100.00000000001}"#);
+        assert!(diff(&a, &within, 1e-9).is_empty());
+        let beyond = obj(r#"{"time_s": 100.001}"#);
+        let d = diff(&a, &beyond, 1e-9);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("epsilon"), "{d:?}");
+        // Ratios too.
+        let r1 = obj(r#"{"speedup_x": 2.5}"#);
+        let r2 = obj(r#"{"speedup_x": 2.5000000000001}"#);
+        assert!(diff(&r1, &r2, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn equal_value_different_literal_is_not_a_regression() {
+        let a = obj(r#"{"count": 1.0}"#);
+        let b = obj(r#"{"count": 1}"#);
+        assert!(diff(&a, &b, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn host_keys_are_skipped() {
+        let a = obj(r#"{"host_elapsed_s": 10.0, "total_s": 5.0}"#);
+        let b = obj(r#"{"host_elapsed_s": 99.0, "total_s": 5.0}"#);
+        assert!(diff(&a, &b, 1e-9).is_empty());
+        // ... even when the fresh side drops them.
+        let c = obj(r#"{"total_s": 5.0}"#);
+        assert!(diff(&a, &c, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_regressions() {
+        let a = obj(r#"{"x": 1, "y": 2}"#);
+        let b = obj(r#"{"x": 1, "z": 3}"#);
+        let d = diff(&a, &b, 1e-9);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|l| l.contains("$.y") && l.contains("missing")));
+        assert!(d
+            .iter()
+            .any(|l| l.contains("$.z") && l.contains("baseline")));
+    }
+
+    #[test]
+    fn array_shape_and_elements_are_checked() {
+        let a = obj(r#"{"apps": [{"n": 1}, {"n": 2}]}"#);
+        let b = obj(r#"{"apps": [{"n": 1}]}"#);
+        assert!(diff(&a, &b, 1e-9)[0].contains("length"));
+        let c = obj(r#"{"apps": [{"n": 1}, {"n": 3}]}"#);
+        let d = diff(&a, &c, 1e-9);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("$.apps[1].n"), "{d:?}");
+    }
+
+    #[test]
+    fn type_mismatch_is_a_regression() {
+        let a = obj(r#"{"v": 1}"#);
+        let b = obj(r#"{"v": "1"}"#);
+        assert_eq!(diff(&a, &b, 1e-9).len(), 1);
+    }
+
+    #[test]
+    fn roundtrips_a_report_like_document() {
+        // Shape mirrors BENCH_pic.json: nested objects, arrays of
+        // objects, negative/exponent-free numbers of both kinds.
+        let text = r#"{
+  "schema_version": 1,
+  "scale": 0.05,
+  "apps": [
+    {
+      "app": "kmeans",
+      "speedup_x": 2.5974025974025974,
+      "host_elapsed_s": 1.25,
+      "ic": {"total_s": 3300.25, "class_bytes": {"map-spill": 123456789}}
+    }
+  ]
+}"#;
+        let j = obj(text);
+        assert!(diff(&j, &j, 1e-9).is_empty());
+        let apps = match j.get("apps").unwrap() {
+            Json::Arr(a) => a,
+            _ => unreachable!(),
+        };
+        assert_eq!(apps[0].get("app").unwrap().as_str(), Some("kmeans"));
+    }
+}

@@ -17,6 +17,7 @@ use crate::scope::IterScope;
 use pic_mapreduce::kv::ByteSize;
 use pic_mapreduce::{Dataset, Engine, Timing};
 use pic_simnet::topology::NodeId;
+use pic_simnet::trace::Payload;
 use pic_simnet::traffic::TrafficClass;
 
 /// Options for an IC run.
@@ -117,6 +118,9 @@ pub fn run_ic<A: IterativeApp>(
         let it_t0 = engine.now();
         let it_traffic0 = engine.traffic();
         let it_span = tracer.begin(format!("{}-{}", opts.phase, scope.iteration), opts.phase);
+        // The report layer keys its per-iteration decomposition off this
+        // arg rather than re-parsing the span name.
+        tracer.set_arg(it_span, "iteration", Payload::U64(scope.iteration as u64));
 
         // Ship the current model to the group's tasks.
         match app.model_fanout() {

@@ -178,6 +178,7 @@ pub fn run_pic<A: PicApp>(
 
     while be_iterations < max_be {
         let be_span = tracer.begin(format!("be-{}", be_iterations + 1), "be-iteration");
+        tracer.set_arg(be_span, "iteration", Payload::U64(be_iterations as u64 + 1));
 
         // Sub-models out of the unified model (paper `partition`, model
         // side), broadcast each to its node group. Broadcasts to disjoint

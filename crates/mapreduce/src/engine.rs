@@ -50,6 +50,25 @@ impl Engine {
         }
     }
 
+    /// An engine with tracing disabled: the ledger still counts bytes
+    /// exactly, but no spans or instants are recorded and every tracer
+    /// call takes the allocation-free early-return path — the right
+    /// constructor for throughput benchmarks.
+    pub fn untraced(spec: ClusterSpec) -> Self {
+        spec.validate().expect("invalid cluster spec");
+        let spec = Arc::new(spec);
+        let clock = Arc::new(Mutex::new(SimClock::new()));
+        let ledger = Arc::new(TrafficLedger::new());
+        let dfs = Dfs::new(Arc::clone(&spec), Arc::clone(&ledger));
+        Engine {
+            spec,
+            ledger,
+            dfs,
+            clock,
+            tracer: Tracer::disabled(),
+        }
+    }
+
     /// The cluster description.
     pub fn spec(&self) -> &ClusterSpec {
         &self.spec
@@ -764,6 +783,26 @@ mod tests {
 
     fn analytic(name: &str) -> JobConfig {
         JobConfig::new(name).timing(Timing::default_analytic())
+    }
+
+    #[test]
+    fn untraced_engine_counts_bytes_but_records_nothing() {
+        let engine = Engine::untraced(ClusterSpec::small());
+        assert!(!engine.tracer().is_enabled());
+        let ds = Dataset::create(&engine, "/untraced", (0u64..100).collect(), 4);
+        let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| {
+            ctx.emit(*x % 10, 1);
+        });
+        let reducer = FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((*k, vs.iter().sum()));
+        });
+        let r = engine.run(&analytic("silent"), &ds, &mapper, &reducer);
+        assert_eq!(r.stats.output_records, 10);
+        let trace = engine.trace();
+        assert!(trace.spans.is_empty());
+        assert!(trace.instants.is_empty());
+        // The ledger still counts, trace or no trace.
+        assert!(engine.traffic().get(TrafficClass::MapSpill) > 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 pub mod clock;
 pub mod event;
+pub mod report;
 pub mod scheduler;
 pub mod topology;
 pub mod trace;
@@ -40,6 +41,7 @@ pub mod traffic;
 pub mod transfer;
 
 pub use clock::SimClock;
+pub use report::{CriticalPath, CriticalSegment, IterationRollup, PerfReport};
 pub use scheduler::{ScheduleOutcome, SlotScheduler, TaskLaunch, TaskSpec};
 pub use topology::{ClusterSpec, NodeId, RackId};
 pub use trace::{MetricsRegistry, Payload, Trace, Tracer};

@@ -1,0 +1,1068 @@
+//! Trace-driven performance analysis: critical paths, rollups, reports.
+//!
+//! The PR-2 trace layer records *what happened*; this module explains
+//! *where the simulated time went* — the paper's own argument is exactly
+//! such a decomposition (Fig. 2: shuffle bytes vs model-update bytes vs
+//! compute per iteration). Three consumers share it:
+//!
+//! * [`CriticalPath`] — the longest simulated-time chain through the span
+//!   tree (job → phase → task on the engine side, pic → BE-iteration →
+//!   solve/merge → top-off on the driver side), with per-segment slack
+//!   against the runner-up sibling. The path's segments tile the root
+//!   span's window contiguously, so their durations telescope to the root
+//!   duration — `tests/report_invariants.rs` pins that to 1e-9 relative.
+//! * [`PerfReport`] — per-phase percentile rollups, per-slot straggler /
+//!   skew statistics, and per-iteration traffic attribution mirroring the
+//!   paper's Fig. 2 decomposition; embeds a [`MetricsRegistry`]. Traffic
+//!   instants are charged to the nearest enclosing iteration span (cats
+//!   `be-iteration` / `ic` / `topoff`), anything outside goes to an
+//!   `outside` bucket, and the per-class sums reconcile **exactly**
+//!   (`==`) with the [`crate::traffic::TrafficLedger`] totals —
+//!   [`PerfReport::reconcile`] asserts it.
+//! * [`PerfReport::to_json`] — a deterministic, schema-versioned JSON
+//!   rendering (serde is a vendored no-op, so it is written by hand) that
+//!   `bench`'s `BENCH_pic.json` embeds and the `regress` gate diffs. The
+//!   JSON contains no host wall-clock values, so it is byte-identical
+//!   across rayon pool widths. DESIGN.md §9 documents the schema.
+
+use crate::trace::{json_string, MetricsRegistry, Span, SpanId, Trace};
+use crate::traffic::{human_bytes, TrafficClass, TrafficSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Version stamp for [`PerfReport::to_json`]; bump on any breaking field
+/// change (see DESIGN.md §9 for the policy).
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Span categories that mark one driver-level iteration; traffic is
+/// attributed to the nearest enclosing span with one of these cats.
+const ITERATION_CATS: [&str; 3] = ["be-iteration", "ic", "topoff"];
+
+/// `a <= b` up to the relative epsilon used throughout the trace layer.
+fn le(a: f64, b: f64) -> bool {
+    a <= b + 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// One segment of a critical path: a maximal stretch of simulated time
+/// attributed to a single span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalSegment {
+    /// The span this stretch of time is charged to.
+    pub span: SpanId,
+    /// Its name.
+    pub name: String,
+    /// Its category.
+    pub cat: &'static str,
+    /// Its display lane.
+    pub lane: String,
+    /// Tree depth below the path's root (root = 0).
+    pub depth: usize,
+    /// Segment start, simulated seconds.
+    pub t0: f64,
+    /// Segment end, simulated seconds.
+    pub t1: f64,
+    /// True when the span has children but none of them covers this
+    /// stretch — time the span spent in its own code between children.
+    pub is_self: bool,
+    /// How much later this span finished than the runner-up sibling
+    /// competing for the path (`None` for self segments and only
+    /// children). Large slack = this span alone gates the parent.
+    pub slack_s: Option<f64>,
+}
+
+impl CriticalSegment {
+    /// Simulated seconds covered by this segment.
+    pub fn duration_s(&self) -> f64 {
+        self.t1 - self.t0
+    }
+
+    /// Rollup key: the category, suffixed for self time.
+    pub fn cat_key(&self) -> String {
+        if self.is_self {
+            format!("{} (self)", self.cat)
+        } else {
+            self.cat.to_string()
+        }
+    }
+}
+
+/// The longest simulated-time chain through one span tree.
+///
+/// Extracted by walking backwards from the root's end: at each cursor,
+/// descend into the child that finished last at-or-before the cursor,
+/// recursively; gaps no child covers become `self` segments of the
+/// parent. The resulting segments tile `[root.t0, root.t1]` contiguously
+/// in chronological order, so [`CriticalPath::total_s`] equals the root
+/// span's duration (up to float summation error ≪ 1e-9 relative).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// The root span the path spans.
+    pub root: SpanId,
+    /// Root span's name (`pic:kmeans`, `job:kmeans-it3`, …).
+    pub root_name: String,
+    /// Sum of segment durations == root duration.
+    pub total_s: f64,
+    /// Chronologically ordered, contiguously tiling segments.
+    pub segments: Vec<CriticalSegment>,
+}
+
+impl CriticalPath {
+    /// Extract the critical path of the longest root (parentless) span,
+    /// or `None` for an empty trace.
+    pub fn from_trace(trace: &Trace) -> Option<CriticalPath> {
+        let root = trace
+            .spans
+            .iter()
+            .filter(|s| s.parent.is_none())
+            .max_by(|a, b| {
+                a.duration_s()
+                    .partial_cmp(&b.duration_s())
+                    .expect("span times are finite")
+                    // Ties prefer the earliest-recorded root.
+                    .then(b.id.cmp(&a.id))
+            })?;
+        Some(Self::for_span(trace, root.id))
+    }
+
+    /// Extract the critical path rooted at `root`.
+    pub fn for_span(trace: &Trace, root: SpanId) -> CriticalPath {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); trace.spans.len()];
+        for (i, s) in trace.spans.iter().enumerate() {
+            if let Some(p) = s.parent {
+                children[p.index()].push(i);
+            }
+        }
+        let root_span = &trace.spans[root.index()];
+        let mut segments = Vec::new();
+        descend(
+            trace,
+            &children,
+            root.index(),
+            0,
+            root_span.t1,
+            None,
+            &mut segments,
+        );
+        segments.reverse();
+        let total_s = segments.iter().map(CriticalSegment::duration_s).sum();
+        CriticalPath {
+            root,
+            root_name: root_span.name.clone(),
+            total_s,
+            segments,
+        }
+    }
+
+    /// Simulated seconds on the path per [`CriticalSegment::cat_key`].
+    pub fn by_cat_s(&self) -> BTreeMap<String, f64> {
+        let mut by_cat: BTreeMap<String, f64> = BTreeMap::new();
+        for seg in &self.segments {
+            *by_cat.entry(seg.cat_key()).or_insert(0.0) += seg.duration_s();
+        }
+        by_cat
+    }
+
+    /// Plain-text rendering; at most `limit` segment lines are printed
+    /// (0 = unlimited), the rest summarized.
+    pub fn render(&self, limit: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical path — {} ({} segments, {:.6} s total)",
+            self.root_name,
+            self.segments.len(),
+            self.total_s
+        );
+        let _ = writeln!(
+            out,
+            "  {:>12} {:>12} {:>10}  span",
+            "t0 (s)", "dur (s)", "slack (s)"
+        );
+        let shown = if limit == 0 {
+            self.segments.len()
+        } else {
+            limit.min(self.segments.len())
+        };
+        for seg in &self.segments[..shown] {
+            let slack = match seg.slack_s {
+                Some(s) => format!("{s:>10.6}"),
+                None => format!("{:>10}", "-"),
+            };
+            let _ = writeln!(
+                out,
+                "  {:>12.6} {:>12.6} {}  {}{} [{}]{}",
+                seg.t0,
+                seg.duration_s(),
+                slack,
+                "  ".repeat(seg.depth),
+                seg.name,
+                seg.cat,
+                if seg.is_self { " (self)" } else { "" },
+            );
+        }
+        if shown < self.segments.len() {
+            let _ = writeln!(out, "  … {} more segments", self.segments.len() - shown);
+        }
+        out.push_str("  time on path by category:\n");
+        for (cat, secs) in self.by_cat_s() {
+            let pct = if self.total_s > 0.0 {
+                100.0 * secs / self.total_s
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "    {cat:<24} {secs:>12.6} s  ({pct:>5.1}%)");
+        }
+        out
+    }
+}
+
+/// Back-walk one span: starting from `window_end`, repeatedly pick the
+/// child that finished last at-or-before the cursor, pushing segments in
+/// reverse chronological order.
+fn descend(
+    trace: &Trace,
+    children: &[Vec<usize>],
+    idx: usize,
+    depth: usize,
+    window_end: f64,
+    slack_s: Option<f64>,
+    out: &mut Vec<CriticalSegment>,
+) {
+    let span = &trace.spans[idx];
+    // Zero-width children can never advance the cursor; dropping them up
+    // front guarantees termination and keeps the path free of noise
+    // (e.g. the zero-width `sort` marker span).
+    let mut kids: Vec<&Span> = children[idx]
+        .iter()
+        .map(|&c| &trace.spans[c])
+        .filter(|c| c.duration_s() > 0.0)
+        .collect();
+    kids.sort_by(|a, b| {
+        b.t1.partial_cmp(&a.t1)
+            .expect("span times are finite")
+            // Ties prefer the later-starting (shorter) child, then the
+            // recording order, so the walk is deterministic.
+            .then(b.t0.partial_cmp(&a.t0).expect("span times are finite"))
+            .then(a.id.cmp(&b.id))
+    });
+
+    if kids.is_empty() {
+        // Leaf: the whole window is the span's own time.
+        out.push(segment(span, depth, span.t0, window_end, false, slack_s));
+        return;
+    }
+
+    let seg_self = |t0: f64, t1: f64| segment(span, depth, t0, t1, true, None);
+    let mut cursor = window_end;
+    let mut j = 0;
+    while j < kids.len() && !le(cursor, span.t0) {
+        let k = kids[j];
+        // A child still running at the cursor (it ends after it) cannot
+        // be the one whose completion the cursor waited on; once skipped
+        // it stays invalid because the cursor only moves backwards.
+        if !le(k.t1, cursor) {
+            j += 1;
+            continue;
+        }
+        if k.t1 < cursor {
+            out.push(seg_self(k.t1, cursor));
+        }
+        let child_end = k.t1.min(cursor);
+        let child_slack = kids.get(j + 1).map(|n| k.t1 - n.t1);
+        descend(
+            trace,
+            children,
+            k.id.index(),
+            depth + 1,
+            child_end,
+            child_slack,
+            out,
+        );
+        cursor = k.t0.max(span.t0);
+        j += 1;
+    }
+    if cursor > span.t0 {
+        out.push(seg_self(span.t0, cursor));
+    }
+}
+
+fn segment(
+    span: &Span,
+    depth: usize,
+    t0: f64,
+    t1: f64,
+    is_self: bool,
+    slack_s: Option<f64>,
+) -> CriticalSegment {
+    CriticalSegment {
+        span: span.id,
+        name: span.name.clone(),
+        cat: span.cat,
+        lane: span.lane.clone(),
+        depth,
+        t0,
+        t1,
+        is_self,
+        slack_s,
+    }
+}
+
+/// Duration statistics over one group of spans (nearest-rank
+/// percentiles).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseStats {
+    /// Number of spans in the group.
+    pub count: usize,
+    /// Sum of simulated durations.
+    pub total_s: f64,
+    /// Median duration.
+    pub p50_s: f64,
+    /// 95th-percentile duration.
+    pub p95_s: f64,
+    /// Longest duration.
+    pub max_s: f64,
+}
+
+impl PhaseStats {
+    fn from_sorted(durations: &[f64]) -> PhaseStats {
+        PhaseStats {
+            count: durations.len(),
+            total_s: durations.iter().sum(),
+            p50_s: percentile(durations, 50.0),
+            p95_s: percentile(durations, 95.0),
+            max_s: durations.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Straggler / skew statistics for one task group (all `task` spans on
+/// lanes `<group>-slot-*`): per-task duration percentiles plus per-slot
+/// busy-time imbalance, the trace-side view of wave imbalance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TaskGroupStats {
+    /// Task-duration percentiles over every task in the group.
+    pub durations: PhaseStats,
+    /// Distinct slot lanes the group ran on.
+    pub slots: usize,
+    /// Busy seconds of the busiest slot.
+    pub busy_max_s: f64,
+    /// Mean busy seconds across the group's slots.
+    pub busy_mean_s: f64,
+    /// `busy_max_s / busy_mean_s` (1.0 = perfectly balanced waves).
+    pub imbalance_x: f64,
+}
+
+/// Simulated time and exact byte attribution for one driver iteration
+/// span — one bar of the paper's Fig. 2 decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRollup {
+    /// `be-iteration`, `ic`, or `topoff`.
+    pub cat: &'static str,
+    /// 1-based iteration index (from the span's `iteration` arg, falling
+    /// back to the numeric suffix of its name).
+    pub index: u64,
+    /// The span's name (`be-2`, `topoff-5`, …).
+    pub name: String,
+    /// The iteration's simulated duration.
+    pub time_s: f64,
+    /// Bytes charged while this iteration span enclosed the charge.
+    pub bytes: TrafficSnapshot,
+}
+
+/// Everything derived from one run's trace: critical path, rollups,
+/// iteration decomposition, and the flat [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Root span duration (0 for an empty trace).
+    pub total_s: f64,
+    /// Critical path of the longest root span.
+    pub critical_path: Option<CriticalPath>,
+    /// Percentile rollups keyed `cat/name` for phase-like cats
+    /// (`phase`, `transfer`, `merge`) and bare `cat` for the rest.
+    pub phases: BTreeMap<String, PhaseStats>,
+    /// Straggler stats per task group (`map`, `red`, `solve`, …).
+    pub tasks: BTreeMap<String, TaskGroupStats>,
+    /// Per-iteration time + bytes, chronological.
+    pub iterations: Vec<IterationRollup>,
+    /// Bytes charged outside any iteration span (startup loads, final
+    /// writes); `iterations` + `outside_bytes` reconcile exactly with
+    /// the ledger.
+    pub outside_bytes: TrafficSnapshot,
+    /// Flat per-phase / per-class / counter rollups.
+    pub metrics: MetricsRegistry,
+}
+
+impl PerfReport {
+    /// Analyse `trace`.
+    pub fn from_trace(trace: &Trace) -> PerfReport {
+        let critical_path = CriticalPath::from_trace(trace);
+        let total_s = critical_path
+            .as_ref()
+            .map(|cp| trace.spans[cp.root.index()].duration_s())
+            .unwrap_or(0.0);
+
+        // Percentile rollups per phase group.
+        let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for s in &trace.spans {
+            let key = match s.cat {
+                "phase" | "transfer" | "merge" => format!("{}/{}", s.cat, s.name),
+                "job" | "be-iteration" | "ic" | "topoff" | "driver" => s.cat.to_string(),
+                _ => continue,
+            };
+            groups.entry(key).or_default().push(s.duration_s());
+        }
+        let mut phases = BTreeMap::new();
+        for (key, mut durations) in groups {
+            durations.sort_by(|a, b| a.partial_cmp(b).expect("span times are finite"));
+            phases.insert(key, PhaseStats::from_sorted(&durations));
+        }
+
+        // Straggler stats per task group, from the `<group>-slot-<n>`
+        // lane convention.
+        let mut task_durations: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        let mut slot_busy: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+        for s in trace.spans.iter().filter(|s| s.cat == "task") {
+            let Some((group, _)) = s.lane.split_once("-slot-") else {
+                continue;
+            };
+            task_durations
+                .entry(group.to_string())
+                .or_default()
+                .push(s.duration_s());
+            *slot_busy
+                .entry(group.to_string())
+                .or_default()
+                .entry(s.lane.clone())
+                .or_insert(0.0) += s.duration_s();
+        }
+        let mut tasks = BTreeMap::new();
+        for (group, mut durations) in task_durations {
+            durations.sort_by(|a, b| a.partial_cmp(b).expect("span times are finite"));
+            let busy = &slot_busy[&group];
+            let busy_max_s = busy.values().copied().fold(0.0, f64::max);
+            let busy_mean_s = busy.values().sum::<f64>() / busy.len() as f64;
+            tasks.insert(
+                group,
+                TaskGroupStats {
+                    durations: PhaseStats::from_sorted(&durations),
+                    slots: busy.len(),
+                    busy_max_s,
+                    busy_mean_s,
+                    imbalance_x: if busy_mean_s > 0.0 {
+                        busy_max_s / busy_mean_s
+                    } else {
+                        1.0
+                    },
+                },
+            );
+        }
+
+        // Per-iteration byte attribution: walk each traffic instant's
+        // parent chain to the nearest iteration span.
+        let mut iterations: Vec<IterationRollup> = Vec::new();
+        let mut slot_of_span: BTreeMap<usize, usize> = BTreeMap::new();
+        for s in &trace.spans {
+            if ITERATION_CATS.contains(&s.cat) {
+                slot_of_span.insert(s.id.index(), iterations.len());
+                let index = s.arg_u64("iteration").unwrap_or_else(|| {
+                    s.name
+                        .rsplit('-')
+                        .next()
+                        .and_then(|suffix| suffix.parse().ok())
+                        .unwrap_or(iterations.len() as u64 + 1)
+                });
+                iterations.push(IterationRollup {
+                    cat: s.cat,
+                    index,
+                    name: s.name.clone(),
+                    time_s: s.duration_s(),
+                    bytes: TrafficSnapshot::default(),
+                });
+            }
+        }
+        let mut outside_bytes = TrafficSnapshot::default();
+        for i in trace.instants.iter().filter(|i| i.cat == "traffic") {
+            let Some(class) = TrafficClass::from_label(&i.name) else {
+                continue;
+            };
+            let bytes = i.arg_u64("bytes").unwrap_or(0);
+            let mut cur = i.parent;
+            let mut slot = None;
+            while let Some(pid) = cur {
+                if let Some(&s) = slot_of_span.get(&pid.index()) {
+                    slot = Some(s);
+                    break;
+                }
+                cur = trace.spans[pid.index()].parent;
+            }
+            let target = match slot {
+                Some(s) => &mut iterations[s].bytes,
+                None => &mut outside_bytes,
+            };
+            target.set(class, target.get(class) + bytes);
+        }
+
+        PerfReport {
+            total_s,
+            critical_path,
+            phases,
+            tasks,
+            iterations,
+            outside_bytes,
+            metrics: MetricsRegistry::from_trace(trace),
+        }
+    }
+
+    /// Per-class sum of iteration bytes plus the outside bucket — must
+    /// equal the ledger exactly.
+    pub fn attributed_bytes(&self) -> TrafficSnapshot {
+        self.iterations
+            .iter()
+            .fold(self.outside_bytes, |acc, it| acc.plus(&it.bytes))
+    }
+
+    /// Check that per-iteration attribution reconciles **exactly** with
+    /// `ledger` for every class.
+    pub fn reconcile(&self, ledger: &TrafficSnapshot) -> Result<(), Vec<String>> {
+        let attributed = self.attributed_bytes();
+        let errs: Vec<String> = TrafficClass::ALL
+            .into_iter()
+            .filter(|&c| attributed.get(c) != ledger.get(c))
+            .map(|c| {
+                format!(
+                    "class {}: iterations+outside attribute {} bytes, ledger recorded {}",
+                    c.label(),
+                    attributed.get(c),
+                    ledger.get(c)
+                )
+            })
+            .collect();
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// Human-readable report; the critical path prints at most
+    /// `path_limit` segments (0 = unlimited).
+    pub fn render(&self, path_limit: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "total simulated time: {:.6} s", self.total_s);
+        out.push('\n');
+        if let Some(cp) = &self.critical_path {
+            out.push_str(&cp.render(path_limit));
+            out.push('\n');
+        }
+        out.push_str(
+            "phase rollups (simulated s)\n  \
+             group                         count        total          p50          p95          max\n",
+        );
+        for (key, st) in &self.phases {
+            let _ = writeln!(
+                out,
+                "  {key:<28} {:>6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+                st.count, st.total_s, st.p50_s, st.p95_s, st.max_s
+            );
+        }
+        if !self.tasks.is_empty() {
+            out.push_str(
+                "task groups (straggler / skew)\n  \
+                 group       tasks  slots          p50          p95          max     busy-max    busy-mean  imbalance\n",
+            );
+            for (group, st) in &self.tasks {
+                let _ = writeln!(
+                    out,
+                    "  {group:<10} {:>6} {:>6} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>9.3}x",
+                    st.durations.count,
+                    st.slots,
+                    st.durations.p50_s,
+                    st.durations.p95_s,
+                    st.durations.max_s,
+                    st.busy_max_s,
+                    st.busy_mean_s,
+                    st.imbalance_x
+                );
+            }
+        }
+        if !self.iterations.is_empty() {
+            out.push_str("per-iteration decomposition (paper Fig. 2)\n");
+            for it in &self.iterations {
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {:>12.6} s   shuffle {:>12}   model-update {:>12}   broadcast {:>12}",
+                    it.name,
+                    it.time_s,
+                    human_bytes(it.bytes.shuffle_total()),
+                    human_bytes(it.bytes.model_update_total()),
+                    human_bytes(it.bytes.get(TrafficClass::Broadcast)),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>14}   shuffle {:>12}   model-update {:>12}   broadcast {:>12}",
+                "outside",
+                "-",
+                human_bytes(self.outside_bytes.shuffle_total()),
+                human_bytes(self.outside_bytes.model_update_total()),
+                human_bytes(self.outside_bytes.get(TrafficClass::Broadcast)),
+            );
+        }
+        out.push('\n');
+        out.push_str(&self.metrics.render());
+        out
+    }
+
+    /// Deterministic JSON rendering, `indent` spaces of leading indent
+    /// per line. One key per line; keys are emitted in a fixed order;
+    /// seconds keys end in `_s` and ratio keys in `_x` (the regression
+    /// gate compares those with a relative epsilon, everything else
+    /// exactly). Contains no host wall-clock values.
+    pub fn to_json(&self, indent: usize) -> String {
+        let mut w = JsonWriter::new(indent);
+        w.open("{");
+        w.field("schema_version", &REPORT_SCHEMA_VERSION.to_string());
+        w.field("total_s", &fmt_f64(self.total_s));
+        match &self.critical_path {
+            None => w.field("critical_path", "null"),
+            Some(cp) => {
+                w.open_key("critical_path", "{");
+                w.field("root", &json_string(&cp.root_name));
+                w.field("total_s", &fmt_f64(cp.total_s));
+                w.field("segments", &cp.segments.len().to_string());
+                w.open_key("by_cat_s", "{");
+                for (cat, secs) in cp.by_cat_s() {
+                    w.field_key(&cat, &fmt_f64(secs));
+                }
+                w.close("}");
+                w.close("}");
+            }
+        }
+        w.open_key("phases", "{");
+        for (key, st) in &self.phases {
+            w.open_key_escaped(key, "{");
+            w.field("count", &st.count.to_string());
+            w.field("total_s", &fmt_f64(st.total_s));
+            w.field("p50_s", &fmt_f64(st.p50_s));
+            w.field("p95_s", &fmt_f64(st.p95_s));
+            w.field("max_s", &fmt_f64(st.max_s));
+            w.close("}");
+        }
+        w.close("}");
+        w.open_key("tasks", "{");
+        for (group, st) in &self.tasks {
+            w.open_key_escaped(group, "{");
+            w.field("count", &st.durations.count.to_string());
+            w.field("slots", &st.slots.to_string());
+            w.field("p50_s", &fmt_f64(st.durations.p50_s));
+            w.field("p95_s", &fmt_f64(st.durations.p95_s));
+            w.field("max_s", &fmt_f64(st.durations.max_s));
+            w.field("busy_max_s", &fmt_f64(st.busy_max_s));
+            w.field("busy_mean_s", &fmt_f64(st.busy_mean_s));
+            w.field("imbalance_x", &fmt_f64(st.imbalance_x));
+            w.close("}");
+        }
+        w.close("}");
+        w.open_key("iterations", "[");
+        for it in &self.iterations {
+            w.open("{");
+            w.field("cat", &json_string(it.cat));
+            w.field("index", &it.index.to_string());
+            w.field("name", &json_string(&it.name));
+            w.field("time_s", &fmt_f64(it.time_s));
+            write_snapshot(&mut w, "bytes", &it.bytes);
+            w.close("}");
+        }
+        w.close("]");
+        write_snapshot(&mut w, "outside_bytes", &self.outside_bytes);
+        w.open_key("phase_time_s", "{");
+        for (key, secs) in &self.metrics.phase_time_s {
+            w.field_key(key, &fmt_f64(*secs));
+        }
+        w.close("}");
+        w.open_key("class_bytes", "{");
+        for (key, bytes) in &self.metrics.class_bytes {
+            w.field_key(key, &bytes.to_string());
+        }
+        w.close("}");
+        w.open_key("counters", "{");
+        for (key, v) in &self.metrics.counters {
+            w.field_key(key, &v.to_string());
+        }
+        w.close("}");
+        w.close("}");
+        w.finish()
+    }
+}
+
+/// Emit a [`TrafficSnapshot`] as a JSON object keyed by class label,
+/// plus the two Table-II totals.
+fn write_snapshot(w: &mut JsonWriter, key: &str, snap: &TrafficSnapshot) {
+    w.open_key(key, "{");
+    for c in TrafficClass::ALL {
+        w.field_key(c.label(), &snap.get(c).to_string());
+    }
+    w.field("shuffle_total", &snap.shuffle_total().to_string());
+    w.field("model_update_total", &snap.model_update_total().to_string());
+    w.close("}");
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Format an `f64` as a JSON number (`null` for non-finite values),
+/// using Rust's shortest round-trippable `Display` so the output is
+/// deterministic across platforms.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Line-oriented JSON writer: one key per line, comma bookkeeping, and
+/// 2-space nesting on top of a base indent — shared by the report and
+/// the bench suite file so `BENCH_pic.json` has a stable shape.
+pub struct JsonWriter {
+    out: String,
+    base: usize,
+    depth: usize,
+    /// Whether the current container already has an entry (needs comma).
+    has_entry: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A writer whose every line is prefixed by `base` spaces.
+    pub fn new(base: usize) -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            base,
+            depth: 0,
+            has_entry: Vec::new(),
+        }
+    }
+
+    fn line_start(&mut self) {
+        if let Some(last) = self.has_entry.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+        if !self.out.is_empty() {
+            self.out.push('\n');
+        }
+        for _ in 0..self.base + 2 * self.depth {
+            self.out.push(' ');
+        }
+    }
+
+    /// Open an anonymous container (`{` or `[`) — for array elements or
+    /// the top level.
+    pub fn open(&mut self, bracket: &str) {
+        self.line_start();
+        self.out.push_str(bracket);
+        self.depth += 1;
+        self.has_entry.push(false);
+    }
+
+    /// Open a container under a key that is already valid JSON-safe.
+    pub fn open_key(&mut self, key: &str, bracket: &str) {
+        self.line_start();
+        self.out.push_str(&json_string(key));
+        self.out.push_str(": ");
+        self.out.push_str(bracket);
+        self.depth += 1;
+        self.has_entry.push(false);
+    }
+
+    /// [`JsonWriter::open_key`] — kept separate for call-site clarity
+    /// when the key is dynamic (escaping always applies).
+    pub fn open_key_escaped(&mut self, key: &str, bracket: &str) {
+        self.open_key(key, bracket);
+    }
+
+    /// Emit `"key": value` where `value` is already rendered JSON.
+    pub fn field(&mut self, key: &str, value: &str) {
+        self.field_key(key, value);
+    }
+
+    /// Emit a field with a dynamic (escaped) key.
+    pub fn field_key(&mut self, key: &str, value: &str) {
+        self.line_start();
+        self.out.push_str(&json_string(key));
+        self.out.push_str(": ");
+        self.out.push_str(value);
+    }
+
+    /// Close the innermost container with `}` or `]`.
+    pub fn close(&mut self, bracket: &str) {
+        self.depth -= 1;
+        self.has_entry.pop();
+        self.out.push('\n');
+        for _ in 0..self.base + 2 * self.depth {
+            self.out.push(' ');
+        }
+        self.out.push_str(bracket);
+    }
+
+    /// The accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::trace::{Payload, Tracer};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn tracer() -> (Tracer, Arc<Mutex<SimClock>>) {
+        let clock = Arc::new(Mutex::new(SimClock::new()));
+        (Tracer::new(Arc::clone(&clock)), clock)
+    }
+
+    /// A three-level tree with a known longest chain:
+    ///
+    /// ```text
+    /// root [0,10]
+    ///   ├─ a [0,4]      (tasks a1 [0,2], a2 [2,4])
+    ///   ├─ b [4,9]      (task  b1 [5,8])   <- gap 4..5 and 8..9 = b self
+    ///   └─ (root self 9..10)
+    /// ```
+    fn known_tree() -> Trace {
+        let (t, clock) = tracer();
+        let root = t.begin("root", "job");
+        let a = t.begin_at("a", "phase", 0.0);
+        t.span_at_in("x-slot-0", "a1", "task", 0.0, 2.0, Vec::new());
+        t.span_at_in("x-slot-1", "a2", "task", 2.0, 4.0, Vec::new());
+        t.end_at(a, 4.0);
+        let b = t.begin_at("b", "phase", 4.0);
+        t.span_at_in("x-slot-0", "b1", "task", 5.0, 8.0, Vec::new());
+        t.end_at(b, 9.0);
+        clock.lock().advance(10.0);
+        t.end(root);
+        t.trace()
+    }
+
+    #[test]
+    fn critical_path_tiles_the_root_window() {
+        let tr = known_tree();
+        let cp = CriticalPath::from_trace(&tr).unwrap();
+        assert_eq!(cp.root_name, "root");
+        assert!((cp.total_s - 10.0).abs() < 1e-12, "total {}", cp.total_s);
+        // Chronological, contiguous tiling.
+        assert_eq!(cp.segments[0].t0, 0.0);
+        for pair in cp.segments.windows(2) {
+            assert_eq!(pair[0].t1, pair[1].t0, "segments must tile contiguously");
+        }
+        assert_eq!(cp.segments.last().unwrap().t1, 10.0);
+        let names: Vec<(&str, bool)> = cp
+            .segments
+            .iter()
+            .map(|s| (s.name.as_str(), s.is_self))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("a1", false),
+                ("a2", false),
+                ("b", true), // 4..5 waiting inside b
+                ("b1", false),
+                ("b", true),    // 8..9 inside b after b1
+                ("root", true), // 9..10
+            ]
+        );
+    }
+
+    #[test]
+    fn slack_measures_the_runner_up() {
+        let tr = known_tree();
+        let cp = CriticalPath::from_trace(&tr).unwrap();
+        // b (ends 9) beats a (ends 4) by 5 seconds.
+        let b1 = cp
+            .segments
+            .iter()
+            .find(|s| s.name == "b1" && !s.is_self)
+            .unwrap();
+        assert_eq!(b1.slack_s, None, "only child has no competitor");
+        let a2 = cp.segments.iter().find(|s| s.name == "a2").unwrap();
+        assert_eq!(a2.slack_s, Some(2.0), "a2 (t1=4) vs a1 (t1=2)");
+    }
+
+    #[test]
+    fn zero_width_children_cannot_stall_the_walk() {
+        let (t, clock) = tracer();
+        let root = t.begin("root", "job");
+        t.span_at("sort", "phase", 1.0, 1.0, Vec::new());
+        t.span_at("sort2", "phase", 1.0, 1.0, Vec::new());
+        clock.lock().advance(2.0);
+        t.end(root);
+        let cp = CriticalPath::from_trace(&t.trace()).unwrap();
+        assert!((cp.total_s - 2.0).abs() < 1e-12);
+        assert_eq!(cp.segments.len(), 1, "zero-width spans are skipped");
+    }
+
+    #[test]
+    fn overlapping_children_pick_the_blocking_chain() {
+        // c2 overlaps the cursor when c1 is chosen; the walk must skip
+        // it rather than loop or double-count.
+        let (t, clock) = tracer();
+        let root = t.begin("root", "job");
+        t.span_at("c1", "phase", 0.0, 6.0, Vec::new());
+        t.span_at("c2", "phase", 2.0, 5.0, Vec::new());
+        clock.lock().advance(6.0);
+        t.end(root);
+        let cp = CriticalPath::from_trace(&t.trace()).unwrap();
+        assert!((cp.total_s - 6.0).abs() < 1e-12);
+        assert_eq!(cp.segments.len(), 1);
+        assert_eq!(cp.segments[0].name, "c1");
+        assert_eq!(cp.segments[0].slack_s, Some(1.0), "c1 (6) vs c2 (5)");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 95.0), 4.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn report_rolls_up_tasks_and_phases() {
+        let tr = known_tree();
+        let r = PerfReport::from_trace(&tr);
+        assert_eq!(r.total_s, 10.0);
+        let x = &r.tasks["x"];
+        assert_eq!(x.durations.count, 3);
+        assert_eq!(x.slots, 2);
+        // slot-0 busy 2+3=5, slot-1 busy 2; mean 3.5.
+        assert_eq!(x.busy_max_s, 5.0);
+        assert!((x.busy_mean_s - 3.5).abs() < 1e-12);
+        assert!((x.imbalance_x - 5.0 / 3.5).abs() < 1e-12);
+        let phases = &r.phases["phase/a"];
+        assert_eq!(phases.count, 1);
+        assert_eq!(phases.max_s, 4.0);
+        assert_eq!(r.phases["job"].count, 1);
+    }
+
+    #[test]
+    fn iteration_attribution_reconciles_exactly() {
+        let (t, clock) = tracer();
+        let root = t.begin("pic:app", "driver");
+        t.traffic_event(TrafficClass::DfsRead, 1000); // outside any iteration
+        let be = t.begin("be-1", "be-iteration");
+        t.set_arg(be, "iteration", Payload::U64(1));
+        t.traffic_event(TrafficClass::Broadcast, 10);
+        t.traffic_event(TrafficClass::Merge, 20);
+        clock.lock().advance(1.0);
+        t.end(be);
+        let top = t.begin("topoff-1", "topoff");
+        t.traffic_event(TrafficClass::ShuffleRack, 30);
+        t.traffic_event(TrafficClass::ModelUpdate, 40);
+        clock.lock().advance(2.0);
+        t.end(top);
+        t.end(root);
+        let tr = t.trace();
+        let r = PerfReport::from_trace(&tr);
+        assert_eq!(r.iterations.len(), 2);
+        assert_eq!(r.iterations[0].cat, "be-iteration");
+        assert_eq!(r.iterations[0].index, 1);
+        assert_eq!(r.iterations[0].bytes.get(TrafficClass::Broadcast), 10);
+        assert_eq!(r.iterations[0].bytes.get(TrafficClass::Merge), 20);
+        assert_eq!(r.iterations[1].time_s, 2.0);
+        assert_eq!(r.iterations[1].bytes.shuffle_total(), 30);
+        assert_eq!(r.iterations[1].bytes.model_update_total(), 40);
+        assert_eq!(r.outside_bytes.get(TrafficClass::DfsRead), 1000);
+        // Exact reconciliation against the real ledger totals.
+        r.reconcile(&tr.traffic_totals()).unwrap();
+        let mut wrong = tr.traffic_totals();
+        wrong.set(TrafficClass::Merge, 21);
+        let errs = r.reconcile(&wrong).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("class merge"), "{errs:?}");
+    }
+
+    #[test]
+    fn iteration_index_falls_back_to_name_suffix() {
+        let (t, clock) = tracer();
+        let it = t.begin("topoff-7", "topoff");
+        clock.lock().advance(1.0);
+        t.end(it);
+        let r = PerfReport::from_trace(&t.trace());
+        assert_eq!(r.iterations[0].index, 7);
+    }
+
+    #[test]
+    fn empty_trace_yields_an_empty_report() {
+        let r = PerfReport::from_trace(&Trace::default());
+        assert_eq!(r.total_s, 0.0);
+        assert!(r.critical_path.is_none());
+        assert!(r.iterations.is_empty());
+        let json = r.to_json(0);
+        assert!(json.contains("\"critical_path\": null"));
+    }
+
+    #[test]
+    fn json_is_stable_and_balanced() {
+        let tr = known_tree();
+        let r = PerfReport::from_trace(&tr);
+        let a = r.to_json(0);
+        let b = r.to_json(0);
+        assert_eq!(a, b, "rendering twice must be identical");
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\"total_s\": 10"));
+        assert!(a.contains("\"phase/a\""));
+        assert!(
+            !a.contains("host_"),
+            "report JSON must carry no host values"
+        );
+        // Indent applies to every line.
+        let indented = r.to_json(4);
+        for line in indented.lines() {
+            assert!(line.starts_with("    "), "line {line:?} not indented");
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let (t, clock) = tracer();
+        let root = t.begin("pic:app", "driver");
+        let be = t.begin("be-1", "be-iteration");
+        t.traffic_event(TrafficClass::Broadcast, 10);
+        clock.lock().advance(1.0);
+        t.end(be);
+        t.end(root);
+        let r = PerfReport::from_trace(&t.trace());
+        let text = r.render(10);
+        assert!(text.contains("total simulated time"));
+        assert!(text.contains("critical path — pic:app"));
+        assert!(text.contains("per-iteration decomposition"));
+        assert!(text.contains("be-1"));
+        assert!(text.contains("time on path by category"));
+    }
+
+    #[test]
+    fn path_limit_truncates_rendering() {
+        let tr = known_tree();
+        let cp = CriticalPath::from_trace(&tr).unwrap();
+        let text = cp.render(2);
+        assert!(text.contains("… 4 more segments"), "{text}");
+        let full = cp.render(0);
+        assert!(!full.contains("more segments"));
+    }
+}

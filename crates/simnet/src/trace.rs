@@ -43,7 +43,7 @@ use std::sync::Arc;
 pub struct SpanId(u64);
 
 impl SpanId {
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         self.0 as usize
     }
 }
@@ -85,6 +85,18 @@ pub struct Span {
     pub args: Args,
 }
 
+impl Span {
+    /// The `U64` payload stored under `key`, if any.
+    pub fn arg_u64(&self, key: &str) -> Option<u64> {
+        arg_u64(&self.args, key)
+    }
+
+    /// Simulated duration in seconds (clamped at zero for open spans).
+    pub fn duration_s(&self) -> f64 {
+        (self.t1 - self.t0).max(0.0)
+    }
+}
+
 /// A point event on the simulated timeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InstantEvent {
@@ -101,6 +113,23 @@ pub struct InstantEvent {
     pub t: f64,
     /// Attached arguments.
     pub args: Args,
+}
+
+impl InstantEvent {
+    /// The `U64` payload stored under `key`, if any — the lookup every
+    /// rollup shares (`bytes` on traffic instants, `value` on counters).
+    pub fn arg_u64(&self, key: &str) -> Option<u64> {
+        arg_u64(&self.args, key)
+    }
+}
+
+/// Shared `U64` arg lookup backing [`Span::arg_u64`] and
+/// [`InstantEvent::arg_u64`].
+fn arg_u64(args: &Args, key: &str) -> Option<u64> {
+    args.iter().find_map(|(k, v)| match v {
+        Payload::U64(n) if k == key => Some(*n),
+        _ => None,
+    })
 }
 
 /// An immutable snapshot of everything a [`Tracer`] recorded.
@@ -182,6 +211,11 @@ impl Tracer {
     /// span stack; subsequent spans/instants become its children until
     /// [`Tracer::end`].
     pub fn begin(&self, name: impl Into<String>, cat: &'static str) -> SpanId {
+        // Early-out before touching the clock lock or converting `name`:
+        // this path is hot in benches that run with tracing disabled.
+        if self.inner.is_none() {
+            return SpanId(0);
+        }
         let t0 = self.now();
         self.begin_at(name, cat, t0)
     }
@@ -210,6 +244,9 @@ impl Tracer {
 
     /// Close `id` at the current simulated time.
     pub fn end(&self, id: SpanId) {
+        if self.inner.is_none() {
+            return;
+        }
         let t1 = self.now();
         self.end_at(id, t1);
     }
@@ -286,6 +323,9 @@ impl Tracer {
     /// Record an instant event at the current simulated time on the
     /// driver lane.
     pub fn instant(&self, name: impl Into<String>, cat: &'static str, args: Args) {
+        if self.inner.is_none() {
+            return;
+        }
         let t = self.now();
         self.instant_at_in(DRIVER_LANE, name, cat, t, args);
     }
@@ -392,15 +432,7 @@ impl Trace {
             if i.cat != "traffic" {
                 continue;
             }
-            let bytes = i
-                .args
-                .iter()
-                .find_map(|(k, v)| match (k.as_str(), v) {
-                    ("bytes", Payload::U64(b)) => Some(*b),
-                    _ => None,
-                })
-                .unwrap_or(0);
-            *by_label.entry(i.name.as_str()).or_insert(0) += bytes;
+            *by_label.entry(i.name.as_str()).or_insert(0) += i.arg_u64("bytes").unwrap_or(0);
         }
         let mut snap = TrafficSnapshot::default();
         for c in TrafficClass::ALL {
@@ -464,8 +496,8 @@ impl Trace {
     }
 }
 
-/// Escape and quote a string for JSON.
-fn json_string(s: &str) -> String {
+/// Escape and quote a string for JSON (shared with [`crate::report`]).
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -544,26 +576,12 @@ impl MetricsRegistry {
         for i in &trace.instants {
             match i.cat {
                 "traffic" => {
-                    let bytes = i
-                        .args
-                        .iter()
-                        .find_map(|(k, v)| match (k.as_str(), v) {
-                            ("bytes", Payload::U64(b)) => Some(*b),
-                            _ => None,
-                        })
-                        .unwrap_or(0);
-                    *m.class_bytes.entry(i.name.clone()).or_insert(0) += bytes;
+                    *m.class_bytes.entry(i.name.clone()).or_insert(0) +=
+                        i.arg_u64("bytes").unwrap_or(0);
                 }
                 "counter" => {
-                    let v = i
-                        .args
-                        .iter()
-                        .find_map(|(k, v)| match (k.as_str(), v) {
-                            ("value", Payload::U64(n)) => Some(*n),
-                            _ => None,
-                        })
-                        .unwrap_or(0);
-                    *m.counters.entry(i.name.clone()).or_insert(0) += v;
+                    *m.counters.entry(i.name.clone()).or_insert(0) +=
+                        i.arg_u64("value").unwrap_or(0);
                 }
                 "sched" => {
                     *m.counters.entry(format!("sched.{}", i.name)).or_insert(0) += 1;
@@ -600,7 +618,7 @@ impl MetricsRegistry {
 /// list of violations, so test failures show all problems at once and
 /// the CI smoke binary can print them.
 pub mod check {
-    use super::{Payload, Span, Trace};
+    use super::{Span, Trace};
     use crate::traffic::{TrafficClass, TrafficSnapshot};
     use std::collections::BTreeMap;
 
@@ -752,15 +770,7 @@ pub mod check {
             .instants
             .iter()
             .filter(|i| i.cat == "counter" && i.name == name)
-            .map(|i| {
-                i.args
-                    .iter()
-                    .find_map(|(k, v)| match (k.as_str(), v) {
-                        ("value", Payload::U64(n)) => Some(*n),
-                        _ => None,
-                    })
-                    .unwrap_or(0)
-            })
+            .map(|i| i.arg_u64("value").unwrap_or(0))
             .sum()
     }
 
@@ -796,14 +806,50 @@ mod tests {
 
     #[test]
     fn disabled_tracer_is_a_no_op() {
+        // Every entry point must record nothing — and (by inspection of
+        // the early returns) skip the name/lane String builds entirely.
         let t = Tracer::disabled();
         assert!(!t.is_enabled());
+        assert_eq!(t.now(), 0.0);
         let id = t.begin("x", "job");
+        let id2 = t.begin_at("y", "phase", 1.0);
+        t.set_arg(id, "k", Payload::U64(1));
         t.instant("e", "sched", Vec::new());
-        t.end(id);
+        t.instant_at("e2", "sched", 0.5, Vec::new());
+        t.instant_at_in("lane", "e3", "dfs", 0.5, Vec::new());
+        t.span_at("s", "phase", 0.0, 1.0, Vec::new());
+        t.span_at_in("lane", "s2", "task", 0.0, 1.0, Vec::new());
+        t.traffic_event(TrafficClass::Broadcast, 99);
+        t.end(id2);
+        t.end_at(id, 2.0);
+        t.clear();
         let tr = t.trace();
         assert!(tr.spans.is_empty());
         assert!(tr.instants.is_empty());
+        assert_eq!(tr.traffic_totals(), TrafficSnapshot::default());
+    }
+
+    #[test]
+    fn arg_u64_finds_typed_payloads_only() {
+        let (t, _clock) = tracer();
+        t.span_at(
+            "s",
+            "phase",
+            0.0,
+            1.0,
+            vec![
+                ("label".into(), Payload::Str("nope".into())),
+                ("ratio".into(), Payload::F64(0.5)),
+                ("bytes".into(), Payload::U64(77)),
+            ],
+        );
+        t.instant("c", "counter", vec![("value".into(), Payload::U64(3))]);
+        let tr = t.trace();
+        assert_eq!(tr.spans[0].arg_u64("bytes"), Some(77));
+        assert_eq!(tr.spans[0].arg_u64("ratio"), None, "F64 is not U64");
+        assert_eq!(tr.spans[0].arg_u64("label"), None);
+        assert_eq!(tr.spans[0].arg_u64("missing"), None);
+        assert_eq!(tr.instants[0].arg_u64("value"), Some(3));
     }
 
     #[test]

@@ -67,6 +67,12 @@ impl TrafficClass {
         }
     }
 
+    /// Inverse of [`TrafficClass::label`] — resolve a traced instant's
+    /// name back to its class.
+    pub fn from_label(label: &str) -> Option<TrafficClass> {
+        TrafficClass::ALL.into_iter().find(|c| c.label() == label)
+    }
+
     /// Short label for reports.
     pub fn label(self) -> &'static str {
         match self {
