@@ -49,6 +49,18 @@ impl LinSystem {
     }
 }
 
+/// The L2 residual `‖A x − b‖₂` over `rows` — the reference-free
+/// distance of `x` from the solution of the system.
+pub fn residual_l2(rows: &[Row], x: &[f64]) -> f64 {
+    rows.iter()
+        .map(|row| {
+            let ax: f64 = row.a.iter().zip(x).map(|(a, xj)| a * xj).sum();
+            (ax - row.b).powi(2)
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
 /// The Jacobi update of one row: `(b_i − Σ_{j≠i} a_ij x_j) / a_ii`.
 #[inline]
 pub fn jacobi_row(row: &Row, x: &[f64]) -> f64 {

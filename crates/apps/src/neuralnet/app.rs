@@ -109,6 +109,21 @@ impl IterativeApp for NeuralNetApp {
     }
 }
 
+impl QualityProbe for NeuralNetApp {
+    /// Held-out cross-entropy loss on the validation set, a smoother
+    /// quality signal than the (stepwise) misclassification objective.
+    fn quality(&self, model: &Mlp) -> QualitySample {
+        let mut indices = Vec::new();
+        if !self.validation.is_empty() {
+            indices.push(("heldout_loss", model.loss(&self.validation)));
+        }
+        QualitySample {
+            objective: self.error(model),
+            indices,
+        }
+    }
+}
+
 impl PicApp for NeuralNetApp {
     fn partition_data(&self, data: &Dataset<Sample>, parts: usize) -> Vec<Vec<Sample>> {
         partition::random(data.iter_records().cloned(), parts, self.partition_seed)

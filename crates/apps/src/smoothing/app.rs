@@ -60,6 +60,9 @@ pub struct SmoothingApp {
     pub max_iterations: usize,
     /// Reference (fully converged) image for the error metric.
     pub reference: Option<Image>,
+    /// Observed (noisy) input image `f`; enables the sweep-residual
+    /// quality probe and the error fallback when no reference is set.
+    pub observed: Option<Image>,
     parts: usize,
     /// Tile columns; 1 = horizontal strips (the default), >1 = a 2-D
     /// tile grid, which shrinks each sub-problem's halo perimeter.
@@ -102,6 +105,7 @@ impl SmoothingApp {
             threshold,
             max_iterations: 400,
             reference: None,
+            observed: None,
             parts,
             cols,
         };
@@ -112,6 +116,13 @@ impl SmoothingApp {
     /// Attach the converged reference image.
     pub fn with_reference(mut self, reference: Image) -> Self {
         self.reference = Some(reference);
+        self
+    }
+
+    /// Attach the observed input image `f`, enabling the sweep-residual
+    /// quality indices (and the error metric when no reference is set).
+    pub fn with_observed(mut self, observed: Image) -> Self {
+        self.observed = Some(observed);
         self
     }
 
@@ -209,7 +220,14 @@ impl IterativeApp for SmoothingApp {
     }
 
     fn error(&self, model: &Image) -> Option<f64> {
-        self.reference.as_ref().map(|r| model.rms_diff(r))
+        if let Some(r) = &self.reference {
+            return Some(model.rms_diff(r));
+        }
+        // Reference-free fallback: the RMS change of one damped-Jacobi
+        // sweep, zero exactly at the screened-Poisson fixed point.
+        self.observed
+            .as_ref()
+            .map(|f| self.sequential_sweep(model, f).rms_diff(model))
     }
 
     fn max_iterations(&self) -> usize {
@@ -219,6 +237,23 @@ impl IterativeApp for SmoothingApp {
     fn model_fanout(&self) -> pic_core::app::ModelFanout {
         // Each stencil mapper needs only its rows ± one halo row.
         pic_core::app::ModelFanout::Partitioned
+    }
+}
+
+impl QualityProbe for SmoothingApp {
+    /// Per-pixel delta of one sweep — max and RMS of `|u' − u|` — the
+    /// distance from the fixed point, computable without a reference.
+    fn quality(&self, model: &Image) -> QualitySample {
+        let mut indices = Vec::new();
+        if let Some(f) = &self.observed {
+            let next = self.sequential_sweep(model, f);
+            indices.push(("pixel_delta_max", next.max_diff(model)));
+            indices.push(("pixel_delta_rms", next.rms_diff(model)));
+        }
+        QualitySample {
+            objective: self.error(model),
+            indices,
+        }
     }
 }
 

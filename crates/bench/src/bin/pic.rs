@@ -118,7 +118,9 @@ fn usage(err: &str) -> ! {
            --json <path>        write the schema-versioned BENCH_pic.json here\n\
            --traces <dir>       export Chrome about:tracing JSON per app/run\n\
            --path-limit <n>     critical-path lines to print (default 40, 0 = all)\n\
-           --check              validate every trace invariant; exit 1 on violation"
+           --check              validate every trace invariant; exit 1 on violation\n\
+           --quality            print only the quality-of-convergence sections\n\
+           --csv <path>         write the per-app convergence curves as CSV"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -132,6 +134,8 @@ fn run_report(argv: &[String]) -> ! {
     let mut traces_dir: Option<String> = None;
     let mut check = false;
     let mut path_limit = 40usize;
+    let mut quality_only = false;
+    let mut csv_path: Option<String> = None;
 
     let mut i = 0;
     while i < argv.len() {
@@ -162,6 +166,8 @@ fn run_report(argv: &[String]) -> ! {
                     .unwrap_or_else(|_| usage("--path-limit"));
             }
             "--check" => check = true,
+            "--quality" => quality_only = true,
+            "--csv" => csv_path = Some(take(&mut i)),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
         }
@@ -172,7 +178,20 @@ fn run_report(argv: &[String]) -> ! {
     let runs = perf::collect(&ctx, &app_refs).unwrap_or_else(|e| usage(&e));
 
     for run in &runs {
-        println!("{}", run.render(path_limit));
+        if quality_only {
+            println!("{}", run.quality.render());
+        } else {
+            println!("{}", run.render(path_limit));
+        }
+    }
+
+    if let Some(path) = &csv_path {
+        let doc = perf::quality_csv(&runs);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[pic report] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[pic report] wrote {path} ({} bytes)", doc.len());
     }
 
     if let Some(dir) = &traces_dir {
@@ -232,7 +251,7 @@ fn run_report(argv: &[String]) -> ! {
 }
 
 /// Run one app through both drivers and print the comparison.
-fn report<A: PicApp>(
+fn report<A: PicApp + QualityProbe>(
     spec: &ClusterSpec,
     app: &A,
     records: Vec<A::Record>,

@@ -12,7 +12,8 @@
 //!
 //! ```text
 //! regress [--baseline BENCH_pic.json] [--scale 0.05] \
-//!         [--out target/BENCH_pic.fresh.json] [--epsilon 1e-9] [--update]
+//!         [--out target/BENCH_pic.fresh.json] [--epsilon 1e-9] \
+//!         [--csv target/convergence.csv] [--update]
 //! ```
 //!
 //! `--update` rewrites the baseline from the fresh run instead of
@@ -28,6 +29,7 @@ struct Flags {
     scale: f64,
     epsilon: f64,
     update: bool,
+    csv: Option<String>,
 }
 
 fn usage(err: &str) -> ! {
@@ -36,10 +38,11 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: regress [--baseline <path>] [--scale <f>] [--out <path>] \
-         [--epsilon <e>] [--update]\n\n\
+         [--epsilon <e>] [--csv <path>] [--update]\n\n\
          Runs the pic-report suite and diffs the fresh BENCH_pic.json against\n\
          the committed baseline (exact for bytes/counters, relative epsilon\n\
-         for *_s / *_x keys, host_* ignored). --update rewrites the baseline.\n\
+         for *_s / *_x / *_err keys, host_* ignored). --update rewrites the\n\
+         baseline. --csv also writes the convergence curves as CSV.\n\
          Defaults: --baseline BENCH_pic.json --scale 0.05\n\
          --out target/BENCH_pic.fresh.json --epsilon 1e-9"
     );
@@ -53,6 +56,7 @@ fn parse_flags() -> Flags {
         scale: 0.05,
         epsilon: 1e-9,
         update: false,
+        csv: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -75,6 +79,7 @@ fn parse_flags() -> Flags {
             "--epsilon" => {
                 flags.epsilon = take(&mut i).parse().unwrap_or_else(|_| usage("--epsilon"));
             }
+            "--csv" => flags.csv = Some(take(&mut i)),
             "--update" => flags.update = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
@@ -111,6 +116,15 @@ fn main() {
         std::process::exit(2);
     });
     eprintln!("[regress] wrote fresh report to {}", flags.out);
+
+    if let Some(path) = &flags.csv {
+        let doc = perf::quality_csv(&runs);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[regress] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[regress] wrote convergence curves to {path}");
+    }
 
     if flags.update {
         std::fs::write(&flags.baseline, &fresh_text).unwrap_or_else(|e| {

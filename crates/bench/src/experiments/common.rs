@@ -119,7 +119,7 @@ impl<M> Comparison<M> {
 /// Run the IC baseline and the PIC implementation of `app` over the same
 /// records on fresh engines of `spec`. `splits` is the map-task count for
 /// the input; `timing` the deterministic cost model.
-pub fn compare<A: PicApp>(
+pub fn compare<A: PicApp + QualityProbe>(
     spec: &ClusterSpec,
     app: &A,
     records: Vec<A::Record>,

@@ -26,6 +26,14 @@ pub fn run_full(ctx: &ExperimentCtx) -> (String, super::common::Comparison<Centr
     let pts = gaussian_mixture(n, k, dim, 1000.0, 40.0, 21);
     let init = Centroids::new(init_random_centroids(k, dim, 1000.0, 5));
 
+    // Quality metric: relative SSE excess on a fixed ~2k-point subsample
+    // against the sequential solution on that subsample — deterministic,
+    // and cheap enough to probe every iteration even at full scale.
+    let stride = (n / 2_000).max(1);
+    let sample: Vec<_> = pts.iter().step_by(stride).cloned().collect();
+    let reference = app.solve_reference(&sample, &init, 300);
+    let app = app.with_eval_sample(sample, &reference);
+
     let cmp = compare(&spec, &app, pts, init, 256, partitions, cost::kmeans());
 
     let ic_traffic = cmp.ic.traffic;

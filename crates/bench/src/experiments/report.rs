@@ -12,7 +12,8 @@
 
 use super::common::Comparison;
 use super::{fig2, speedups, ExperimentCtx};
-use pic_simnet::report::{fmt_f64, PerfReport, REPORT_SCHEMA_VERSION};
+use pic_core::report::TrajectoryPoint;
+use pic_simnet::report::{fmt_f64, PerfReport, QualityPoint, QualityReport, REPORT_SCHEMA_VERSION};
 use pic_simnet::trace::check;
 use pic_simnet::{ClusterSpec, Trace, TrafficSnapshot};
 
@@ -41,6 +42,19 @@ pub struct AppRun {
     pub pic_time_s: f64,
     /// Host wall-clock seconds spent producing this comparison.
     pub host_elapsed_s: f64,
+    /// Quality-of-convergence comparison (curves, time-to-quality,
+    /// BE-handoff gap) — see DESIGN.md §10.
+    pub quality: QualityReport,
+}
+
+/// Driver trajectory → report curve.
+fn curve(traj: &[TrajectoryPoint]) -> Vec<QualityPoint> {
+    traj.iter()
+        .map(|p| QualityPoint {
+            t_s: p.t_s,
+            err: p.error,
+        })
+        .collect()
 }
 
 impl AppRun {
@@ -50,6 +64,24 @@ impl AppRun {
         cmp: Comparison<M>,
         host_elapsed_s: f64,
     ) -> AppRun {
+        // Every report app must define an error metric: a silent `None`
+        // here would turn the whole quality section into dead weight.
+        let be_final_err = cmp.pic.be_final_error.unwrap_or_else(|| {
+            panic!("{app}: be_final_error is None — the app must define an error metric")
+        });
+        assert!(
+            !cmp.ic.trajectory.is_empty() && !cmp.pic.trajectory.is_empty(),
+            "{app}: empty error trajectory — the app must define an error metric"
+        );
+        let quality = QualityReport {
+            app: app.to_string(),
+            ic_curve: curve(&cmp.ic.trajectory),
+            pic_curve: curve(&cmp.pic.trajectory),
+            ic_iterations: cmp.ic.iterations,
+            be_iterations: cmp.pic.be_iterations,
+            topoff_iterations: cmp.pic.topoff_iterations,
+            be_final_err,
+        };
         AppRun {
             app,
             experiment,
@@ -60,6 +92,7 @@ impl AppRun {
             ic_traffic: cmp.ic_traffic,
             pic_traffic: cmp.pic_traffic,
             host_elapsed_s,
+            quality,
         }
     }
 
@@ -95,18 +128,54 @@ impl AppRun {
             "pic",
             PerfReport::from_trace(&self.pic_trace).reconcile(&self.pic_traffic),
         );
+        take(
+            "ic",
+            self.reconcile_quality(&self.ic_trace, &self.quality.ic_curve, "ic"),
+        );
+        take(
+            "pic",
+            self.reconcile_quality(&self.pic_trace, &self.quality.pic_curve, "pic"),
+        );
         errs
+    }
+
+    /// The last `quality` instant's `objective` in `trace` must equal the
+    /// driver-reported curve's final error **exactly** (`==`): both are
+    /// the same probe of the same converged model, so any drift means the
+    /// trace and the report no longer describe the same run.
+    fn reconcile_quality(
+        &self,
+        trace: &Trace,
+        curve: &[pic_simnet::QualityPoint],
+        side: &str,
+    ) -> Result<(), Vec<String>> {
+        let traced = trace
+            .instants
+            .iter()
+            .filter(|i| i.cat == "quality")
+            .filter_map(|i| i.arg_f64("objective"))
+            .last();
+        let reported = curve.last().map(|p| p.err);
+        match (traced, reported) {
+            (Some(a), Some(b)) if a == b => Ok(()),
+            (Some(a), Some(b)) => Err(vec![format!(
+                "{side} final quality: trace objective {a} != trajectory error {b}"
+            )]),
+            (None, _) => Err(vec![format!("{side}: trace has no quality samples")]),
+            (_, None) => Err(vec![format!("{side}: empty quality curve")]),
+        }
     }
 
     /// Human-readable report for both runs.
     pub fn render(&self, path_limit: usize) -> String {
         format!(
-            "=== {} ({}) — speedup {:.2}x ===\n\n--- IC baseline ---\n{}\n--- PIC ---\n{}",
+            "=== {} ({}) — speedup {:.2}x ===\n\n--- IC baseline ---\n{}\n--- PIC ---\n{}\n{}",
             self.app,
             self.experiment,
             self.speedup_x(),
             PerfReport::from_trace(&self.ic_trace).render(path_limit),
             PerfReport::from_trace(&self.pic_trace).render(path_limit),
+            self.quality.render(),
         )
     }
 }
@@ -193,6 +262,9 @@ pub fn bench_json(ctx: &ExperimentCtx, runs: &[AppRun]) -> String {
                 .to_json(6)
                 .trim_start(),
         );
+        out.push_str(",\n");
+        out.push_str("      \"quality\": ");
+        out.push_str(run.quality.to_json(6).trim_start());
         out.push('\n');
         out.push_str(if i + 1 < runs.len() {
             "    },\n"
@@ -202,6 +274,18 @@ pub fn bench_json(ctx: &ExperimentCtx, runs: &[AppRun]) -> String {
     }
     out.push_str("  ]\n");
     out.push_str("}\n");
+    out
+}
+
+/// Concatenate every run's convergence curves into one CSV document
+/// (`app,driver,point,t_s,err`) — the artifact CI uploads so curves can
+/// be plotted without re-running the suite.
+pub fn quality_csv(runs: &[AppRun]) -> String {
+    let mut out = String::from(QualityReport::csv_header());
+    out.push('\n');
+    for run in runs {
+        out.push_str(&run.quality.csv_rows());
+    }
     out
 }
 
@@ -249,6 +333,55 @@ mod tests {
         let host_lines: Vec<&str> = doc.lines().filter(|l| l.contains("host_")).collect();
         assert_eq!(host_lines.len(), 1, "one host key per app run");
         assert!(host_lines[0].trim_start().starts_with("\"host_elapsed_s\""));
+    }
+
+    #[test]
+    fn quality_csv_covers_every_run_and_curve() {
+        let runs = linsolve_runs();
+        let doc = quality_csv(&runs);
+        let mut lines = doc.lines();
+        assert_eq!(lines.next(), Some("app,driver,point,t_s,err"));
+        let expected = runs[0].quality.ic_curve.len() + runs[0].quality.pic_curve.len();
+        assert_eq!(doc.lines().count(), 1 + expected);
+        assert!(lines.next().unwrap().starts_with("linsolve,ic,0,"));
+        assert!(doc.contains("\nlinsolve,pic,0,"));
+    }
+
+    /// The regression gate must catch quality drift: perturbing a quality
+    /// error beyond the relative epsilon, or an iteration count at all,
+    /// turns a clean self-diff into a reported regression.
+    #[test]
+    fn quality_drift_beyond_tolerance_is_a_regression() {
+        let ctx = ExperimentCtx { scale: 0.01 };
+        let doc = bench_json(&ctx, &linsolve_runs());
+        let baseline = json::parse(&doc).unwrap();
+        assert!(json::diff(&baseline, &baseline, 1e-6).is_empty());
+
+        // Drift the BE-handoff error well past the band (the tolerance is
+        // floored at `eps` absolute, so a relative nudge on a near-zero
+        // error could legitimately pass — drift by a whole unit instead).
+        let be_err = r#""be_final_err": "#;
+        let start = doc.find(be_err).expect("be_final_err in json") + be_err.len();
+        let end = start + doc[start..].find(',').unwrap();
+        let v: f64 = doc[start..end].trim().parse().unwrap();
+        let drifted = format!("{}{}{}", &doc[..start], v + 1.0, &doc[end..]);
+        let diffs = json::diff(&baseline, &json::parse(&drifted).unwrap(), 1e-6);
+        assert!(
+            diffs.iter().any(|d| d.contains("be_final_err")),
+            "drifted be_final_err not flagged: {diffs:?}"
+        );
+
+        // An off-by-one iteration count is exact-gated: always a diff.
+        let iters = r#""ic_iterations": "#;
+        let start = doc.find(iters).expect("ic_iterations in json") + iters.len();
+        let end = start + doc[start..].find(',').unwrap();
+        let n: u64 = doc[start..end].trim().parse().unwrap();
+        let drifted = format!("{}{}{}", &doc[..start], n + 1, &doc[end..]);
+        let diffs = json::diff(&baseline, &json::parse(&drifted).unwrap(), 1e-6);
+        assert!(
+            diffs.iter().any(|d| d.contains("ic_iterations")),
+            "drifted ic_iterations not flagged: {diffs:?}"
+        );
     }
 
     #[test]

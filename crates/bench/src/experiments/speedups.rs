@@ -92,6 +92,10 @@ pub fn pagerank_cmp(
 ) -> Comparison<pic_apps::pagerank::PrModel> {
     let g = block_local_graph(n, partitions, 2, 8, 0.9, 17);
     let app = PageRankApp::new(g.clone(), partitions, PartitionMode::Random, 5);
+    // Error metric: mean |Δrank| against a deep sequential power
+    // iteration (5x the IC budget, so the reference is near-converged).
+    let reference = app.solve_reference(50);
+    let app = app.with_reference(reference);
     let init = app.initial_model();
     compare(
         spec,
@@ -108,7 +112,9 @@ pub fn pagerank_cmp(
 /// diagonally dominant).
 pub fn linsolve_cmp(spec: &ClusterSpec, n: usize, partitions: usize) -> Comparison<Vec<f64>> {
     let sys = diag_dominant_system(n, 0.05, 29);
-    let app = LinSolveApp::new(n, partitions, 1e-8).with_exact(sys.exact.clone());
+    let app = LinSolveApp::new(n, partitions, 1e-8)
+        .with_exact(sys.exact.clone())
+        .with_rows(sys.rows.clone());
     compare(
         spec,
         &app,
@@ -148,7 +154,9 @@ pub fn smoothing_cmp(
     // Tight threshold: the paper sized this workload to run for ~1 h,
     // i.e. deep into convergence, which is where PIC's cheap best-effort
     // rounds dominate the many remaining full sweeps.
-    let app = SmoothingApp::new(side, side, partitions, 1e-7);
+    // The observed image enables the reference-free sweep-residual error
+    // metric (solving to a golden image at 40 Mpixel would dwarf the run).
+    let app = SmoothingApp::new(side, side, partitions, 1e-7).with_observed(f.clone());
     compare(
         spec,
         &app,

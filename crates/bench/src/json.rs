@@ -236,9 +236,10 @@ pub fn diff(baseline: &Json, fresh: &Json, epsilon: f64) -> Vec<String> {
 }
 
 /// True when the innermost object key puts a number under the relative-
-/// epsilon band (simulated seconds `_s`, ratios `_x`).
+/// epsilon band (simulated seconds `_s`, ratios `_x`, error metrics
+/// `_err` / curve-point `err` — DESIGN.md §10's tolerance-band policy).
 fn is_toleranced(key: &str) -> bool {
-    key.ends_with("_s") || key.ends_with("_x")
+    key.ends_with("_s") || key.ends_with("_x") || key.ends_with("_err") || key == "err"
 }
 
 fn walk(path: &str, key: &str, a: &Json, b: &Json, eps: f64, out: &mut Vec<String>) {
@@ -372,6 +373,26 @@ mod tests {
         let r1 = obj(r#"{"speedup_x": 2.5}"#);
         let r2 = obj(r#"{"speedup_x": 2.5000000000001}"#);
         assert!(diff(&r1, &r2, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn error_metrics_use_relative_epsilon() {
+        // `*_err` keys and curve-point `err` keys sit in the tolerance
+        // band; anything else ending in "err" does not.
+        let a = obj(r#"{"be_final_err": 0.5, "curve": [{"err": 2.0}]}"#);
+        let within =
+            obj(r#"{"be_final_err": 0.5000000000001, "curve": [{"err": 2.0000000000001}]}"#);
+        assert!(diff(&a, &within, 1e-9).is_empty());
+        let beyond = obj(r#"{"be_final_err": 0.51, "curve": [{"err": 2.0}]}"#);
+        let d = diff(&a, &beyond, 1e-9);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].contains("$.be_final_err") && d[0].contains("epsilon"),
+            "{d:?}"
+        );
+        let e1 = obj(r#"{"stderr": 1.0}"#);
+        let e2 = obj(r#"{"stderr": 1.0000000000001}"#);
+        assert_eq!(diff(&e1, &e2, 1e-9).len(), 1, "plain 'stderr' is exact");
     }
 
     #[test]

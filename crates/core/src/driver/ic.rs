@@ -12,6 +12,7 @@
 //! replicated DFS — the two model-movement costs the paper identifies.
 
 use crate::app::IterativeApp;
+use crate::quality::QualityProbe;
 use crate::report::{IcReport, IterationStats, TrajectoryPoint};
 use crate::scope::IterScope;
 use pic_mapreduce::kv::ByteSize;
@@ -55,7 +56,7 @@ impl Default for IcOptions {
 
 /// Run the conventional IC computation of `app` over `data` from the
 /// starting model `init`.
-pub fn run_ic<A: IterativeApp>(
+pub fn run_ic<A: IterativeApp + QualityProbe>(
     engine: &Engine,
     app: &A,
     data: &Dataset<A::Record>,
@@ -144,6 +145,9 @@ pub fn run_ic<A: IterativeApp>(
         );
 
         iterations += 1;
+        // Probe the refined model while the iteration span is still open,
+        // so the quality sample parents to (and lands inside) it.
+        super::record_quality(&tracer, app, &next, scope.iteration, Vec::new());
         tracer.end(it_span);
         per_iteration.push(IterationStats {
             time_s: engine.now() - it_t0,

@@ -22,6 +22,7 @@
 
 use crate::app::PicApp;
 use crate::driver::ic::{run_ic, IcOptions};
+use crate::quality::QualityProbe;
 use crate::report::{PicReport, TrajectoryPoint};
 use pic_mapreduce::kv::ByteSize;
 use pic_mapreduce::{Dataset, Engine, Timing};
@@ -101,7 +102,7 @@ impl Default for PicOptions {
 }
 
 /// Run the two-phase PIC computation of `app` over `data` from `init`.
-pub fn run_pic<A: PicApp>(
+pub fn run_pic<A: PicApp + QualityProbe>(
     engine: &Engine,
     app: &A,
     data: &Dataset<A::Record>,
@@ -305,6 +306,16 @@ pub fn run_pic<A: PicApp>(
 
         local_iterations.push(solved.iter().map(|(_, iters, _)| *iters).collect());
         be_iterations += 1;
+        // Probe the merged model while the best-effort span is still
+        // open; the round's local-iteration batch total rides along.
+        let batch_locals: usize = solved.iter().map(|(_, iters, _)| *iters).sum();
+        super::record_quality(
+            &tracer,
+            app,
+            &merged,
+            be_iterations,
+            vec![("local_iterations".into(), Payload::U64(batch_locals as u64))],
+        );
         tracer.end(be_span);
         if let Some(e) = app.error(&merged) {
             trajectory.push(TrajectoryPoint {
@@ -342,8 +353,15 @@ pub fn run_pic<A: PicApp>(
     tracer.end(pic_span);
 
     for p in &topoff.trajectory {
+        let t_s = be_time_s + p.t_s;
+        // The top-off's starting point samples the handed-off model at
+        // the instant the last best-effort point already recorded; skip
+        // it so the combined trajectory stays strictly monotone in t_s.
+        if trajectory.last().is_some_and(|l| t_s <= l.t_s) {
+            continue;
+        }
         trajectory.push(TrajectoryPoint {
-            t_s: be_time_s + p.t_s,
+            t_s,
             error: p.error,
         });
     }

@@ -1,0 +1,116 @@
+//! Quality-of-convergence probes (DESIGN.md §10).
+//!
+//! The paper's evaluation (§VI) is not about raw speed but about *time to
+//! solution quality*: error-vs-time trajectories (Fig. 12) and solution
+//! quality indices (the Jagota index, Table III) comparing the best-effort
+//! handoff model against the exact IC run. [`QualityProbe`] is how an app
+//! exposes that quality to the drivers: a deterministic sample of the
+//! driver-tracked objective plus any app-specific named indices (k-means
+//! WCSS + Jagota index, PageRank L1 residual, linear-solver ‖Ax−b‖₂, MLP
+//! held-out loss, smoothing per-pixel delta). Both drivers sample it at
+//! every best-effort, IC and top-off iteration and thread the samples into
+//! the trace as `quality` counter events, from which the report layer
+//! derives convergence curves and the time-to-within-x% headline metric.
+
+use crate::app::IterativeApp;
+
+/// One quality sample of a model: the driver's objective plus
+/// app-specific named quality indices.
+///
+/// Every value must be a *deterministic* function of `(app, model)` —
+/// samples land in the trace, which is bit-identical across rayon pool
+/// widths, and in `BENCH_pic.json`, which the `regress` gate diffs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QualitySample {
+    /// The objective the driver tracks — the same value
+    /// [`IterativeApp::error`] reports for the trajectory, so the last
+    /// trajectory point and the final probe reconcile exactly (`==`).
+    pub objective: Option<f64>,
+    /// Named app-specific indices (e.g. `wcss`, `jagota`, `l1_residual`),
+    /// each finite and deterministic.
+    pub indices: Vec<(&'static str, f64)>,
+}
+
+impl QualitySample {
+    /// A sample carrying the objective only (the default probe).
+    pub fn from_objective(objective: Option<f64>) -> Self {
+        QualitySample {
+            objective,
+            indices: Vec::new(),
+        }
+    }
+}
+
+/// Probe an app's model quality.
+///
+/// The default implementation samples the objective
+/// ([`IterativeApp::error`]) with no extra indices, so toy apps opt in
+/// with an empty `impl`. Overrides must keep `objective` equal to
+/// `self.error(model)` — the invariant suite checks that the final
+/// trajectory error equals the converged model's probe value.
+pub trait QualityProbe: IterativeApp {
+    /// Sample the quality of `model`.
+    fn quality(&self, model: &Self::Model) -> QualitySample {
+        QualitySample::from_objective(self.error(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::IterativeApp;
+    use crate::scope::IterScope;
+    use pic_mapreduce::{Dataset, Engine};
+
+    struct Plain;
+    struct WithError;
+
+    impl IterativeApp for Plain {
+        type Record = u64;
+        type Model = f64;
+        fn name(&self) -> &str {
+            "plain"
+        }
+        fn iterate(&self, _e: &Engine, _d: &Dataset<u64>, m: &f64, _s: &IterScope) -> f64 {
+            *m
+        }
+        fn converged(&self, _p: &f64, _n: &f64) -> bool {
+            true
+        }
+    }
+    impl QualityProbe for Plain {}
+
+    impl IterativeApp for WithError {
+        type Record = u64;
+        type Model = f64;
+        fn name(&self) -> &str {
+            "with-error"
+        }
+        fn iterate(&self, _e: &Engine, _d: &Dataset<u64>, m: &f64, _s: &IterScope) -> f64 {
+            *m
+        }
+        fn converged(&self, _p: &f64, _n: &f64) -> bool {
+            true
+        }
+        fn error(&self, m: &f64) -> Option<f64> {
+            Some(m.abs())
+        }
+    }
+    impl QualityProbe for WithError {
+        fn quality(&self, m: &f64) -> QualitySample {
+            QualitySample {
+                objective: self.error(m),
+                indices: vec![("abs", m.abs())],
+            }
+        }
+    }
+
+    #[test]
+    fn default_probe_mirrors_the_error_metric() {
+        assert_eq!(Plain.quality(&3.0), QualitySample::from_objective(None));
+        let s = WithError.quality(&-2.0);
+        assert_eq!(s.objective, Some(2.0));
+        assert_eq!(s.indices, vec![("abs", 2.0)]);
+        assert_eq!(s.objective, WithError.error(&-2.0), "objective == error");
+    }
+}

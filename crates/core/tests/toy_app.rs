@@ -56,6 +56,8 @@ impl IterativeApp for MeanApp {
     }
 }
 
+impl QualityProbe for MeanApp {}
+
 impl PicApp for MeanApp {
     fn partition_data(&self, data: &Dataset<f64>, parts: usize) -> Vec<Vec<f64>> {
         partition::chunked(data.iter_records().copied(), parts)

@@ -41,7 +41,9 @@ pub mod traffic;
 pub mod transfer;
 
 pub use clock::SimClock;
-pub use report::{CriticalPath, CriticalSegment, IterationRollup, PerfReport};
+pub use report::{
+    CriticalPath, CriticalSegment, IterationRollup, PerfReport, QualityPoint, QualityReport,
+};
 pub use scheduler::{ScheduleOutcome, SlotScheduler, TaskLaunch, TaskSpec};
 pub use topology::{ClusterSpec, NodeId, RackId};
 pub use trace::{MetricsRegistry, Payload, Trace, Tracer};

@@ -31,8 +31,9 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Version stamp for [`PerfReport::to_json`]; bump on any breaking field
-/// change (see DESIGN.md §9 for the policy).
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+/// change (see DESIGN.md §9 for the policy). Version 2 added the per-app
+/// `quality` section (DESIGN.md §10).
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// Span categories that mark one driver-level iteration; traffic is
 /// attributed to the nearest enclosing span with one of these cats.
@@ -695,6 +696,168 @@ impl PerfReport {
     }
 }
 
+/// One point of a convergence curve: simulated seconds into the run vs
+/// the app's error metric at that moment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityPoint {
+    /// Simulated seconds since the driver's run start.
+    pub t_s: f64,
+    /// The app's error metric (distance to reference / residual).
+    pub err: f64,
+}
+
+/// The `x` values of the *time-to-within-x%-of-final-error* analysis
+/// (paper Fig. 12's error-vs-time comparison, read off at fixed levels).
+pub const TIME_TO_WITHIN_PCTS: [(&str, f64); 3] = [("1pct", 0.01), ("5pct", 0.05), ("10pct", 0.10)];
+
+/// Quality-of-convergence comparison for one app: the IC and PIC error
+/// trajectories on the shared simulated-time axis, iteration counts, and
+/// the best-effort handoff error (paper Fig. 12 / Table III).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// App name (`kmeans`, `pagerank`, …).
+    pub app: String,
+    /// IC error trajectory (driver-reported, chronological).
+    pub ic_curve: Vec<QualityPoint>,
+    /// PIC error trajectory: best-effort points then top-off points.
+    pub pic_curve: Vec<QualityPoint>,
+    /// IC iterations run.
+    pub ic_iterations: usize,
+    /// PIC best-effort iterations run.
+    pub be_iterations: usize,
+    /// PIC top-off iterations run.
+    pub topoff_iterations: usize,
+    /// Error of the merged model at the best-effort → top-off handoff.
+    pub be_final_err: f64,
+}
+
+impl QualityReport {
+    /// Final error of the IC run (last curve point).
+    pub fn ic_final_err(&self) -> Option<f64> {
+        self.ic_curve.last().map(|p| p.err)
+    }
+
+    /// Final error of the PIC run (last curve point).
+    pub fn pic_final_err(&self) -> Option<f64> {
+        self.pic_curve.last().map(|p| p.err)
+    }
+
+    /// The BE-handoff quality gap: how much worse the merged best-effort
+    /// model is than the conventional run's final answer (Table III).
+    pub fn be_handoff_gap_err(&self) -> Option<f64> {
+        self.ic_final_err().map(|ic| self.be_final_err - ic)
+    }
+
+    /// Simulated seconds until `curve` first reaches within `x` (relative)
+    /// of its own final error: the first point with
+    /// `err <= final * (1 + x)`. `None` on an empty curve; the last point
+    /// always qualifies, so a non-empty curve always yields a time.
+    pub fn time_to_within(curve: &[QualityPoint], x: f64) -> Option<f64> {
+        let target = curve.last()?.err * (1.0 + x);
+        curve.iter().find(|p| p.err <= target).map(|p| p.t_s)
+    }
+
+    /// Header line of [`Self::csv_rows`].
+    pub fn csv_header() -> &'static str {
+        "app,driver,point,t_s,err"
+    }
+
+    /// The two curves as CSV rows (no header), one `app,driver,point
+    /// index,t_s,err` line per trajectory point.
+    pub fn csv_rows(&self) -> String {
+        let mut out = String::new();
+        for (driver, curve) in [("ic", &self.ic_curve), ("pic", &self.pic_curve)] {
+            for (i, p) in curve.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{},{driver},{i},{},{}",
+                    self.app,
+                    fmt_f64(p.t_s),
+                    fmt_f64(p.err)
+                );
+            }
+        }
+        out
+    }
+
+    /// Human-readable quality section.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "quality — {} (ic {} iters, pic {}+{} iters)",
+            self.app, self.ic_iterations, self.be_iterations, self.topoff_iterations
+        );
+        let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.6e}"));
+        let _ = writeln!(
+            out,
+            "  final error: ic {}   pic {}   be-handoff {:.6e} (gap {})",
+            fmt_opt(self.ic_final_err()),
+            fmt_opt(self.pic_final_err()),
+            self.be_final_err,
+            fmt_opt(self.be_handoff_gap_err()),
+        );
+        for (label, x) in TIME_TO_WITHIN_PCTS {
+            let ic = Self::time_to_within(&self.ic_curve, x);
+            let pic = Self::time_to_within(&self.pic_curve, x);
+            let speedup = match (ic, pic) {
+                (Some(a), Some(b)) if b > 0.0 => format!("{:.3}x", a / b),
+                _ => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  time to within {label:>5} of final: ic {:>12} s   pic {:>12} s   speedup {speedup}",
+                ic.map_or("-".to_string(), |v| format!("{v:.6}")),
+                pic.map_or("-".to_string(), |v| format!("{v:.6}")),
+            );
+        }
+        out
+    }
+
+    /// Deterministic JSON rendering matching the tolerance-band key
+    /// conventions: error values end in `_err`, times in `_s`, ratios in
+    /// `_x` (all compared with a relative epsilon by the regression
+    /// gate); iteration counts are bare integers compared exactly.
+    pub fn to_json(&self, indent: usize) -> String {
+        let mut w = JsonWriter::new(indent);
+        w.open("{");
+        w.field("app", &json_string(&self.app));
+        w.field("ic_iterations", &self.ic_iterations.to_string());
+        w.field("be_iterations", &self.be_iterations.to_string());
+        w.field("topoff_iterations", &self.topoff_iterations.to_string());
+        let opt = |v: Option<f64>| v.map_or("null".to_string(), fmt_f64);
+        w.field("ic_final_err", &opt(self.ic_final_err()));
+        w.field("pic_final_err", &opt(self.pic_final_err()));
+        w.field("be_final_err", &fmt_f64(self.be_final_err));
+        w.field("be_handoff_gap_err", &opt(self.be_handoff_gap_err()));
+        w.open_key("time_to_within", "{");
+        for (label, x) in TIME_TO_WITHIN_PCTS {
+            let ic = Self::time_to_within(&self.ic_curve, x);
+            let pic = Self::time_to_within(&self.pic_curve, x);
+            w.field_key(&format!("ic_{label}_s"), &opt(ic));
+            w.field_key(&format!("pic_{label}_s"), &opt(pic));
+            let speedup = match (ic, pic) {
+                (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+                _ => None,
+            };
+            w.field_key(&format!("speedup_{label}_x"), &opt(speedup));
+        }
+        w.close("}");
+        for (key, curve) in [("ic_curve", &self.ic_curve), ("pic_curve", &self.pic_curve)] {
+            w.open_key(key, "[");
+            for p in curve {
+                w.open("{");
+                w.field("t_s", &fmt_f64(p.t_s));
+                w.field("err", &fmt_f64(p.err));
+                w.close("}");
+            }
+            w.close("]");
+        }
+        w.close("}");
+        w.finish()
+    }
+}
+
 /// Emit a [`TrafficSnapshot`] as a JSON object keyed by class label,
 /// plus the two Table-II totals.
 fn write_snapshot(w: &mut JsonWriter, key: &str, snap: &TrafficSnapshot) {
@@ -941,6 +1104,105 @@ mod tests {
     }
 
     #[test]
+    fn phase_stats_on_zero_and_one_sample_inputs() {
+        // 0 samples: everything zero, nothing panics.
+        let empty = PhaseStats::from_sorted(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.total_s, 0.0);
+        assert_eq!(empty.p50_s, 0.0);
+        assert_eq!(empty.p95_s, 0.0);
+        assert_eq!(empty.max_s, 0.0);
+        // 1 sample: every percentile equals the sample.
+        let one = PhaseStats::from_sorted(&[3.25]);
+        assert_eq!(one.count, 1);
+        assert_eq!(one.total_s, 3.25);
+        assert_eq!(one.p50_s, 3.25);
+        assert_eq!(one.p95_s, 3.25);
+        assert_eq!(one.max_s, 3.25);
+    }
+
+    fn quality_fixture() -> QualityReport {
+        QualityReport {
+            app: "toy".into(),
+            ic_curve: vec![
+                QualityPoint { t_s: 1.0, err: 8.0 },
+                QualityPoint { t_s: 2.0, err: 2.0 },
+                QualityPoint { t_s: 3.0, err: 1.0 },
+            ],
+            pic_curve: vec![
+                QualityPoint { t_s: 0.5, err: 4.0 },
+                QualityPoint {
+                    t_s: 1.0,
+                    err: 1.05,
+                },
+                QualityPoint { t_s: 4.0, err: 1.0 },
+            ],
+            ic_iterations: 3,
+            be_iterations: 2,
+            topoff_iterations: 1,
+            be_final_err: 1.05,
+        }
+    }
+
+    #[test]
+    fn time_to_within_reads_the_first_qualifying_point() {
+        let q = quality_fixture();
+        // Final err 1.0: within 1% needs err <= 1.01 — only the last
+        // points qualify.
+        assert_eq!(QualityReport::time_to_within(&q.ic_curve, 0.01), Some(3.0));
+        assert_eq!(QualityReport::time_to_within(&q.pic_curve, 0.01), Some(4.0));
+        // Within 10% (err <= 1.1) the PIC curve qualifies at t=1.0.
+        assert_eq!(QualityReport::time_to_within(&q.pic_curve, 0.10), Some(1.0));
+        // Empty and single-point curves.
+        assert_eq!(QualityReport::time_to_within(&[], 0.05), None);
+        let single = [QualityPoint { t_s: 2.0, err: 0.5 }];
+        assert_eq!(QualityReport::time_to_within(&single, 0.05), Some(2.0));
+    }
+
+    #[test]
+    fn quality_report_accessors_and_gap() {
+        let q = quality_fixture();
+        assert_eq!(q.ic_final_err(), Some(1.0));
+        assert_eq!(q.pic_final_err(), Some(1.0));
+        assert!((q.be_handoff_gap_err().unwrap() - 0.05).abs() < 1e-12);
+        let empty = QualityReport {
+            ic_curve: vec![],
+            pic_curve: vec![],
+            ..q
+        };
+        assert_eq!(empty.ic_final_err(), None);
+        assert_eq!(empty.be_handoff_gap_err(), None);
+    }
+
+    #[test]
+    fn quality_csv_lists_every_point() {
+        let q = quality_fixture();
+        assert_eq!(QualityReport::csv_header(), "app,driver,point,t_s,err");
+        let rows = q.csv_rows();
+        assert_eq!(rows.lines().count(), 6);
+        assert!(rows.starts_with("toy,ic,0,1,8\n"), "{rows}");
+        assert!(rows.contains("toy,pic,2,4,1\n"));
+    }
+
+    #[test]
+    fn quality_json_is_balanced_and_follows_key_conventions() {
+        let q = quality_fixture();
+        let a = q.to_json(0);
+        assert_eq!(a, q.to_json(0), "rendering twice must be identical");
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+        assert!(a.contains("\"ic_final_err\": 1"));
+        assert!(a.contains("\"be_final_err\": 1.05"));
+        assert!(a.contains("\"ic_iterations\": 3"));
+        assert!(a.contains("\"speedup_10pct_x\""));
+        assert!(a.contains("\"pic_1pct_s\": 4"));
+        assert!(!a.contains("host_"));
+        let text = q.render();
+        assert!(text.contains("quality — toy"));
+        assert!(text.contains("time to within"));
+    }
+
+    #[test]
     fn report_rolls_up_tasks_and_phases() {
         let tr = known_tree();
         let r = PerfReport::from_trace(&tr);
@@ -1024,7 +1286,7 @@ mod tests {
         assert_eq!(a, b, "rendering twice must be identical");
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
-        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\"schema_version\": 2"));
         assert!(a.contains("\"total_s\": 10"));
         assert!(a.contains("\"phase/a\""));
         assert!(

@@ -121,6 +121,15 @@ impl InstantEvent {
     pub fn arg_u64(&self, key: &str) -> Option<u64> {
         arg_u64(&self.args, key)
     }
+
+    /// The `F64` payload stored under `key`, if any (`objective` and the
+    /// app-specific indices on `quality` instants).
+    pub fn arg_f64(&self, key: &str) -> Option<f64> {
+        self.args.iter().find_map(|(k, v)| match v {
+            Payload::F64(f) if k == key => Some(*f),
+            _ => None,
+        })
+    }
 }
 
 /// Shared `U64` arg lookup backing [`Span::arg_u64`] and
@@ -473,8 +482,12 @@ impl Trace {
         }
         for i in &self.instants {
             let tid = tid_of(&mut lanes, &i.lane);
+            // Quality samples render as Chrome *counter* series (one plot
+            // track per arg) rather than instant ticks.
+            let ph = if i.cat == "quality" { "C" } else { "i" };
+            let scope = if ph == "i" { "\"s\":\"t\"," } else { "" };
             events.push(format!(
-                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"s\":\"t\",\
+                "{{\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},{scope}\
                  \"name\":{},\"cat\":{},\"args\":{}}}",
                 i.t * 1e6,
                 json_string(&i.name),
@@ -754,6 +767,57 @@ pub mod check {
         }
     }
 
+    /// Span categories that may enclose a `quality` instant: the three
+    /// iteration kinds both drivers sample at.
+    const QUALITY_PARENT_CATS: [&str; 3] = ["be-iteration", "ic", "topoff"];
+
+    /// Every `quality` instant parents to an iteration span
+    /// (best-effort, IC, or top-off), lands inside that span's window,
+    /// and the sequence of quality timestamps is strictly monotone in
+    /// simulated time (each sample is taken after the previous one).
+    pub fn quality_samples(trace: &Trace) -> Result<(), Vec<String>> {
+        let mut errs = Vec::new();
+        let mut prev_t: Option<f64> = None;
+        for i in trace.instants.iter().filter(|i| i.cat == "quality") {
+            match i.parent {
+                None => errs.push(format!(
+                    "quality sample at {:.6} has no enclosing span",
+                    i.t
+                )),
+                Some(pid) => {
+                    let p = &trace.spans[pid.0 as usize];
+                    if !QUALITY_PARENT_CATS.contains(&p.cat) {
+                        errs.push(format!(
+                            "quality sample at {:.6} parents to a non-iteration span {}",
+                            i.t,
+                            span_label(p)
+                        ));
+                    } else if !le(p.t0, i.t) || !le(i.t, p.t1) {
+                        errs.push(format!(
+                            "quality sample at {:.6} outside its iteration span {}",
+                            i.t,
+                            span_label(p)
+                        ));
+                    }
+                }
+            }
+            if let Some(prev) = prev_t {
+                if i.t <= prev {
+                    errs.push(format!(
+                        "quality samples not strictly monotone: {:.6} after {:.6}",
+                        i.t, prev
+                    ));
+                }
+            }
+            prev_t = Some(i.t);
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
     /// Count the `sched` instants named `name` (retry /
     /// speculative-launch / straggler-drop).
     pub fn sched_events(trace: &Trace, name: &str) -> usize {
@@ -774,14 +838,15 @@ pub mod check {
             .sum()
     }
 
-    /// Run the whole structural suite: nesting, slot non-overlap, and
-    /// exact byte attribution against `ledger`.
+    /// Run the whole structural suite: nesting, slot non-overlap, exact
+    /// byte attribution against `ledger`, and quality-sample placement.
     pub fn validate(trace: &Trace, ledger: &TrafficSnapshot) -> Result<(), Vec<String>> {
         let mut errs = Vec::new();
         for r in [
             spans_nest(trace),
             no_overlap_per_slot(trace),
             bytes_attributed(trace, ledger),
+            quality_samples(trace),
         ] {
             if let Err(mut e) = r {
                 errs.append(&mut e);
@@ -995,6 +1060,50 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn quality_instants_export_as_counter_events() {
+        let (t, clock) = tracer();
+        let it = t.begin("ic-1", "ic");
+        clock.lock().advance(1.0);
+        t.instant(
+            "sample",
+            "quality",
+            vec![
+                ("iteration".into(), Payload::U64(1)),
+                ("objective".into(), Payload::F64(0.25)),
+            ],
+        );
+        clock.lock().advance(1.0);
+        t.end(it);
+        let tr = t.trace();
+        assert_eq!(tr.instants[0].arg_f64("objective"), Some(0.25));
+        assert_eq!(tr.instants[0].arg_f64("iteration"), None, "U64 is not F64");
+        let json = tr.to_chrome_json();
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(
+            !json.contains("\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":1000000.000,\"s\""),
+            "counter events carry no instant scope: {json}"
+        );
+        check::quality_samples(&tr).unwrap();
+    }
+
+    #[test]
+    fn quality_samples_accepts_monotone_in_window_sequences() {
+        let (t, clock) = tracer();
+        let be = t.begin("be-1", "be-iteration");
+        clock.lock().advance(1.0);
+        t.instant("sample", "quality", Vec::new());
+        clock.lock().advance(1.0);
+        t.end(be);
+        let ic = t.begin("topoff-1", "topoff");
+        clock.lock().advance(1.0);
+        t.instant("sample", "quality", Vec::new());
+        clock.lock().advance(1.0);
+        t.end(ic);
+        check::quality_samples(&t.trace()).unwrap();
+        check::validate(&t.trace(), &TrafficSnapshot::default()).unwrap();
     }
 
     #[test]

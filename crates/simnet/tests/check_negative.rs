@@ -141,6 +141,61 @@ fn topoff_starting_before_last_be_iteration_is_reported() {
 }
 
 #[test]
+fn orphan_quality_sample_is_reported() {
+    let tracer = Tracer::standalone();
+    // No span on the stack: the sample has no enclosing iteration.
+    tracer.instant_at("sample", "quality", 1.0, vec![]);
+    let errs = check::quality_samples(&tracer.trace()).unwrap_err();
+    assert_violation(&errs, &["quality sample at 1.000000 has no enclosing span"]);
+}
+
+#[test]
+fn quality_sample_under_non_iteration_span_is_reported() {
+    let tracer = Tracer::standalone();
+    let merge = tracer.begin_at("merge", "merge", 0.0);
+    tracer.instant_at("sample", "quality", 1.0, vec![]);
+    tracer.end_at(merge, 2.0);
+    let errs = check::quality_samples(&tracer.trace()).unwrap_err();
+    assert_violation(
+        &errs,
+        &[
+            "quality sample at 1.000000 parents to a non-iteration span",
+            "merge:merge",
+        ],
+    );
+}
+
+#[test]
+fn quality_sample_outside_its_iteration_window_is_reported() {
+    let tracer = Tracer::standalone();
+    let it = tracer.begin_at("ic-1", "ic", 0.0);
+    tracer.instant_at("sample", "quality", 7.0, vec![]);
+    tracer.end_at(it, 5.0);
+    let errs = check::quality_samples(&tracer.trace()).unwrap_err();
+    assert_violation(
+        &errs,
+        &[
+            "quality sample at 7.000000 outside its iteration span",
+            "ic:ic-1",
+        ],
+    );
+}
+
+#[test]
+fn non_monotone_quality_samples_are_reported() {
+    let tracer = Tracer::standalone();
+    let be = tracer.begin_at("be-1", "be-iteration", 0.0);
+    tracer.instant_at("sample", "quality", 3.0, vec![]);
+    tracer.instant_at("sample", "quality", 3.0, vec![]);
+    tracer.end_at(be, 5.0);
+    let errs = check::quality_samples(&tracer.trace()).unwrap_err();
+    assert_violation(
+        &errs,
+        &["quality samples not strictly monotone: 3.000000 after 3.000000"],
+    );
+}
+
+#[test]
 fn validate_aggregates_violations_from_every_checker() {
     let tracer = Tracer::standalone();
     let root = tracer.begin_at("root", "job", 0.0);

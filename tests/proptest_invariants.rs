@@ -123,6 +123,63 @@ proptest! {
         prop_assert!(convergence::max_abs_diff(a, b) <= convergence::l1_distance(a, b) + 1e-9);
     }
 
+    /// `rel_change` is scale-invariant: scaling both vectors by any
+    /// non-zero factor leaves the relative change unchanged (up to
+    /// rounding), because numerator and denominator scale together.
+    #[test]
+    fn rel_change_is_scale_invariant(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..24),
+        b in proptest::collection::vec(1e-3f64..1e3, 1..24),
+        scale in 1e-3f64..1e3,
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let sa: Vec<f64> = a.iter().map(|x| x * scale).collect();
+        let sb: Vec<f64> = b.iter().map(|x| x * scale).collect();
+        let r = convergence::rel_change(a, b);
+        let rs = convergence::rel_change(&sa, &sb);
+        prop_assert!((r - rs).abs() <= 1e-9 * r.abs().max(1.0), "{} vs {}", r, rs);
+    }
+
+    /// `all_within` is monotone in the threshold: passing at `t` implies
+    /// passing at any larger `t`, and it agrees with `max_abs_diff`.
+    #[test]
+    fn all_within_is_monotone_in_threshold(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..24),
+        b in proptest::collection::vec(-1e3f64..1e3, 1..24),
+        t in 1e-6f64..10.0,
+        widen in 1.0f64..100.0,
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let within = convergence::all_within(a, b, t);
+        prop_assert_eq!(within, convergence::max_abs_diff(a, b) < t);
+        if within {
+            prop_assert!(convergence::all_within(a, b, t * widen));
+        }
+    }
+
+    /// Norm-ordering chain `‖·‖∞ ≤ ‖·‖₂ ≤ ‖·‖₁ ≤ n·‖·‖∞`, and the
+    /// triangle inequality for the L2 distance.
+    #[test]
+    fn distance_norms_are_ordered(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..24),
+        b in proptest::collection::vec(-1e3f64..1e3, 1..24),
+        c in proptest::collection::vec(-1e3f64..1e3, 1..24),
+    ) {
+        let n = a.len().min(b.len()).min(c.len());
+        let (a, b, c) = (&a[..n], &b[..n], &c[..n]);
+        let linf = convergence::max_abs_diff(a, b);
+        let l2 = convergence::l2_distance(a, b);
+        let l1 = convergence::l1_distance(a, b);
+        let tol = 1e-9 * l1.max(1.0);
+        prop_assert!(linf <= l2 + tol, "{} > {}", linf, l2);
+        prop_assert!(l2 <= l1 + tol, "{} > {}", l2, l1);
+        prop_assert!(l1 <= n as f64 * linf + tol, "{} > {}*{}", l1, n, linf);
+        let via_c = convergence::l2_distance(a, c) + convergence::l2_distance(c, b);
+        prop_assert!(l2 <= via_c + 1e-9 * via_c.max(1.0));
+    }
+
     /// Shuffle byte-split conserves the total for any cluster and volume.
     #[test]
     fn shuffle_split_conserves_bytes(
