@@ -17,6 +17,14 @@
 //! ```text
 //! pic report --scale 0.05 --check --json target/BENCH_pic.json --traces target/traces
 //! ```
+//!
+//! The `timeline` subcommand renders the time-resolved utilization view
+//! (DESIGN.md §11): per-link and per-slot-group ASCII heatmaps, IC and
+//! PIC side by side, with bisection saturated-seconds:
+//!
+//! ```text
+//! pic timeline --scale 0.05 --apps kmeans --width 48
+//! ```
 
 use pic_bench::experiments::common::cost;
 use pic_bench::experiments::{report as perf, ExperimentCtx};
@@ -109,6 +117,7 @@ fn usage(err: &str) -> ! {
            --partitions <p>     PIC sub-problem count (default 24)\n\
            --cluster <c>        small | medium | large:N (default small)\n\
            --seed <s>           workload seed (default 42)\n\
+           --list-apps          print the valid app names and exit\n\
          \n\
          usage: pic report [flags] — trace-driven perf analysis (DESIGN.md §9)\n\
          \n\
@@ -120,7 +129,15 @@ fn usage(err: &str) -> ! {
            --path-limit <n>     critical-path lines to print (default 40, 0 = all)\n\
            --check              validate every trace invariant; exit 1 on violation\n\
            --quality            print only the quality-of-convergence sections\n\
-           --csv <path>         write the per-app convergence curves as CSV"
+           --csv <path>         write the per-app convergence curves as CSV\n\
+           --util-csv <path>    write the utilization/occupancy series as CSV\n\
+         \n\
+         usage: pic timeline [flags] — utilization heatmaps, IC vs PIC (DESIGN.md §11)\n\
+         \n\
+         flags:\n\
+           --scale <f>          workload scale multiplier (default 1.0)\n\
+           --apps <a,b,..>      subset of kmeans,pagerank,neuralnet,linsolve,smoothing\n\
+           --width <n>          heatmap cells per side (default 48)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -136,6 +153,7 @@ fn run_report(argv: &[String]) -> ! {
     let mut path_limit = 40usize;
     let mut quality_only = false;
     let mut csv_path: Option<String> = None;
+    let mut util_csv_path: Option<String> = None;
 
     let mut i = 0;
     while i < argv.len() {
@@ -168,6 +186,7 @@ fn run_report(argv: &[String]) -> ! {
             "--check" => check = true,
             "--quality" => quality_only = true,
             "--csv" => csv_path = Some(take(&mut i)),
+            "--util-csv" => util_csv_path = Some(take(&mut i)),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
         }
@@ -194,15 +213,31 @@ fn run_report(argv: &[String]) -> ! {
         eprintln!("[pic report] wrote {path} ({} bytes)", doc.len());
     }
 
+    if let Some(path) = &util_csv_path {
+        let doc = perf::utilization_csv(&runs);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[pic report] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[pic report] wrote {path} ({} bytes)", doc.len());
+    }
+
     if let Some(dir) = &traces_dir {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| {
             eprintln!("[pic report] cannot create {dir}: {e}");
             std::process::exit(2);
         });
         for run in &runs {
-            for (side, trace) in [("ic", &run.ic_trace), ("pic", &run.pic_trace)] {
+            // Counter tracks ride along so the Chrome view plots link
+            // utilization and slot occupancy under the span timeline.
+            let utils = [
+                ("ic", &run.ic_trace, run.ic_utilization()),
+                ("pic", &run.pic_trace, run.pic_utilization()),
+            ];
+            for (side, trace, util) in utils {
                 let path = format!("{dir}/{}_{side}_trace.json", run.app);
-                std::fs::write(&path, trace.to_chrome_json()).unwrap_or_else(|e| {
+                let doc = trace.to_chrome_json_with_counters(&util.counter_tracks());
+                std::fs::write(&path, doc).unwrap_or_else(|e| {
                     eprintln!("[pic report] cannot write {path}: {e}");
                     std::process::exit(2);
                 });
@@ -246,6 +281,63 @@ fn run_report(argv: &[String]) -> ! {
             std::process::exit(1);
         }
         eprintln!("[pic report] all trace invariants hold");
+    }
+    std::process::exit(0);
+}
+
+/// `pic timeline`: run the comparisons and print the side-by-side
+/// utilization heatmaps (DESIGN.md §11).
+fn run_timeline(argv: &[String]) -> ! {
+    let mut ctx = ExperimentCtx::default();
+    let mut apps: Vec<String> = perf::APPS.iter().map(|s| s.to_string()).collect();
+    let mut width = 48usize;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| usage("flag needs a value"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--scale" => {
+                ctx.scale = take(&mut i).parse().unwrap_or_else(|_| usage("--scale"));
+                if !(ctx.scale > 0.0) {
+                    usage("--scale must be positive");
+                }
+            }
+            "--apps" => {
+                apps = take(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--width" => {
+                width = take(&mut i).parse().unwrap_or_else(|_| usage("--width"));
+                if width == 0 {
+                    usage("--width must be positive");
+                }
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+
+    let app_refs: Vec<&str> = apps.iter().map(String::as_str).collect();
+    let runs = perf::collect(&ctx, &app_refs).unwrap_or_else(|e| usage(&e));
+    for run in &runs {
+        let ic = run.ic_utilization();
+        let pic = run.pic_utilization();
+        println!(
+            "=== {} ({}) on {} — utilization, darkness = fraction of capacity ===\n",
+            run.app, run.experiment, run.spec.name
+        );
+        println!(
+            "{}",
+            pic_simnet::timeline::render_side_by_side(&ic, &pic, width)
+        );
     }
     std::process::exit(0);
 }
@@ -332,10 +424,19 @@ fn report<A: PicApp + QualityProbe>(
 }
 
 fn main() {
-    // `report` is a subcommand with its own flag set, not an app run.
+    // `report` / `timeline` are subcommands with their own flag sets,
+    // not app runs.
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("report") {
-        run_report(&argv[1..]);
+    match argv.first().map(String::as_str) {
+        Some("report") => run_report(&argv[1..]),
+        Some("timeline") => run_timeline(&argv[1..]),
+        Some("--list-apps") => {
+            for app in perf::APPS {
+                println!("{app}");
+            }
+            std::process::exit(0);
+        }
+        _ => {}
     }
     let args = Args::parse();
     let spec = args.cluster_spec();
@@ -420,6 +521,9 @@ fn main() {
                 cost::smoothing(args.side),
             );
         }
-        other => usage(&format!("unknown app '{other}'")),
+        other => usage(&format!(
+            "unknown app '{other}'; valid apps: {}",
+            perf::APPS.join(", ")
+        )),
     }
 }

@@ -13,7 +13,8 @@
 //! ```text
 //! regress [--baseline BENCH_pic.json] [--scale 0.05] \
 //!         [--out target/BENCH_pic.fresh.json] [--epsilon 1e-9] \
-//!         [--csv target/convergence.csv] [--update]
+//!         [--csv target/convergence.csv] \
+//!         [--util-csv target/utilization.csv] [--update]
 //! ```
 //!
 //! `--update` rewrites the baseline from the fresh run instead of
@@ -30,6 +31,7 @@ struct Flags {
     epsilon: f64,
     update: bool,
     csv: Option<String>,
+    util_csv: Option<String>,
 }
 
 fn usage(err: &str) -> ! {
@@ -38,11 +40,12 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: regress [--baseline <path>] [--scale <f>] [--out <path>] \
-         [--epsilon <e>] [--csv <path>] [--update]\n\n\
+         [--epsilon <e>] [--csv <path>] [--util-csv <path>] [--update]\n\n\
          Runs the pic-report suite and diffs the fresh BENCH_pic.json against\n\
          the committed baseline (exact for bytes/counters, relative epsilon\n\
-         for *_s / *_x / *_err keys, host_* ignored). --update rewrites the\n\
-         baseline. --csv also writes the convergence curves as CSV.\n\
+         for *_s / *_x / *_err / *_util keys, host_* ignored). --update\n\
+         rewrites the baseline. --csv also writes the convergence curves as\n\
+         CSV; --util-csv writes the full utilization/occupancy series as CSV.\n\
          Defaults: --baseline BENCH_pic.json --scale 0.05\n\
          --out target/BENCH_pic.fresh.json --epsilon 1e-9"
     );
@@ -57,6 +60,7 @@ fn parse_flags() -> Flags {
         epsilon: 1e-9,
         update: false,
         csv: None,
+        util_csv: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -80,6 +84,7 @@ fn parse_flags() -> Flags {
                 flags.epsilon = take(&mut i).parse().unwrap_or_else(|_| usage("--epsilon"));
             }
             "--csv" => flags.csv = Some(take(&mut i)),
+            "--util-csv" => flags.util_csv = Some(take(&mut i)),
             "--update" => flags.update = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
@@ -124,6 +129,15 @@ fn main() {
             std::process::exit(2);
         });
         eprintln!("[regress] wrote convergence curves to {path}");
+    }
+
+    if let Some(path) = &flags.util_csv {
+        let doc = perf::utilization_csv(&runs);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[regress] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[regress] wrote utilization series to {path}");
     }
 
     if flags.update {

@@ -15,7 +15,7 @@ use super::{fig2, speedups, ExperimentCtx};
 use pic_core::report::TrajectoryPoint;
 use pic_simnet::report::{fmt_f64, PerfReport, QualityPoint, QualityReport, REPORT_SCHEMA_VERSION};
 use pic_simnet::trace::check;
-use pic_simnet::{ClusterSpec, Trace, TrafficSnapshot};
+use pic_simnet::{ClusterSpec, Trace, TrafficSnapshot, UtilizationReport};
 
 /// The five applications, in report order.
 pub const APPS: [&str; 5] = ["kmeans", "pagerank", "neuralnet", "linsolve", "smoothing"];
@@ -28,6 +28,9 @@ pub struct AppRun {
     pub app: &'static str,
     /// Which paper experiment the configuration mirrors.
     pub experiment: &'static str,
+    /// The cluster both runs were simulated on — the capacity model the
+    /// utilization timelines are measured against.
+    pub spec: ClusterSpec,
     /// Trace of the IC baseline run.
     pub ic_trace: Trace,
     /// Trace of the PIC run.
@@ -61,6 +64,7 @@ impl AppRun {
     fn from_cmp<M>(
         app: &'static str,
         experiment: &'static str,
+        spec: ClusterSpec,
         cmp: Comparison<M>,
         host_elapsed_s: f64,
     ) -> AppRun {
@@ -85,6 +89,7 @@ impl AppRun {
         AppRun {
             app,
             experiment,
+            spec,
             ic_time_s: cmp.ic.total_time_s,
             pic_time_s: cmp.pic.total_time_s,
             ic_trace: cmp.ic_trace,
@@ -99,6 +104,16 @@ impl AppRun {
     /// PIC-over-IC speedup.
     pub fn speedup_x(&self) -> f64 {
         pic_core::report::speedup(self.ic_time_s, self.pic_time_s)
+    }
+
+    /// Time-resolved utilization of the IC baseline run (DESIGN.md §11).
+    pub fn ic_utilization(&self) -> UtilizationReport {
+        UtilizationReport::from_trace(&self.ic_trace, &self.spec)
+    }
+
+    /// Time-resolved utilization of the PIC run.
+    pub fn pic_utilization(&self) -> UtilizationReport {
+        UtilizationReport::from_trace(&self.pic_trace, &self.spec)
     }
 
     /// Run the full structural suite on both traces (nesting, per-slot
@@ -136,6 +151,8 @@ impl AppRun {
             "pic",
             self.reconcile_quality(&self.pic_trace, &self.quality.pic_curve, "pic"),
         );
+        take("ic", self.ic_utilization().reconcile(&self.ic_traffic));
+        take("pic", self.pic_utilization().reconcile(&self.pic_traffic));
         errs
     }
 
@@ -190,25 +207,30 @@ pub fn collect(ctx: &ExperimentCtx, apps: &[&str]) -> Result<Vec<AppRun>, String
             // The acceptance-named run: paper Fig. 2, medium cluster.
             "kmeans" => {
                 let (_, cmp) = fig2::run_full(ctx);
-                AppRun::from_cmp("kmeans", "fig2", cmp, t0.elapsed().as_secs_f64())
+                let spec = ClusterSpec::medium();
+                AppRun::from_cmp("kmeans", "fig2", spec, cmp, t0.elapsed().as_secs_f64())
             }
             "pagerank" => {
-                let cmp = speedups::pagerank_cmp(&ClusterSpec::small(), ctx.n(20_000, 1_000), 18);
-                AppRun::from_cmp("pagerank", "fig9", cmp, t0.elapsed().as_secs_f64())
+                let spec = ClusterSpec::small();
+                let cmp = speedups::pagerank_cmp(&spec, ctx.n(20_000, 1_000), 18);
+                AppRun::from_cmp("pagerank", "fig9", spec, cmp, t0.elapsed().as_secs_f64())
             }
             "neuralnet" => {
-                let cmp = speedups::neuralnet_cmp(&ClusterSpec::small(), ctx.n(10_000, 500), 12);
-                AppRun::from_cmp("neuralnet", "fig10", cmp, t0.elapsed().as_secs_f64())
+                let spec = ClusterSpec::small();
+                let cmp = speedups::neuralnet_cmp(&spec, ctx.n(10_000, 500), 12);
+                AppRun::from_cmp("neuralnet", "fig10", spec, cmp, t0.elapsed().as_secs_f64())
             }
             // The paper's exact size; scale-independent.
             "linsolve" => {
-                let cmp = speedups::linsolve_cmp(&ClusterSpec::small(), 100, 5);
-                AppRun::from_cmp("linsolve", "fig9", cmp, t0.elapsed().as_secs_f64())
+                let spec = ClusterSpec::small();
+                let cmp = speedups::linsolve_cmp(&spec, 100, 5);
+                AppRun::from_cmp("linsolve", "fig9", spec, cmp, t0.elapsed().as_secs_f64())
             }
             "smoothing" => {
                 let side = (256.0 * ctx.scale.sqrt()).max(64.0) as usize;
-                let cmp = speedups::smoothing_cmp(&ClusterSpec::small(), side, 16);
-                AppRun::from_cmp("smoothing", "fig11", cmp, t0.elapsed().as_secs_f64())
+                let spec = ClusterSpec::small();
+                let cmp = speedups::smoothing_cmp(&spec, side, 16);
+                AppRun::from_cmp("smoothing", "fig11", spec, cmp, t0.elapsed().as_secs_f64())
             }
             other => return Err(format!("unknown app '{other}'; known: {APPS:?}")),
         };
@@ -265,7 +287,15 @@ pub fn bench_json(ctx: &ExperimentCtx, runs: &[AppRun]) -> String {
         out.push_str(",\n");
         out.push_str("      \"quality\": ");
         out.push_str(run.quality.to_json(6).trim_start());
+        out.push_str(",\n");
+        out.push_str("      \"utilization\": {\n");
+        out.push_str("        \"ic\": ");
+        out.push_str(run.ic_utilization().to_json(8).trim_start());
+        out.push_str(",\n");
+        out.push_str("        \"pic\": ");
+        out.push_str(run.pic_utilization().to_json(8).trim_start());
         out.push('\n');
+        out.push_str("      }\n");
         out.push_str(if i + 1 < runs.len() {
             "    },\n"
         } else {
@@ -285,6 +315,20 @@ pub fn quality_csv(runs: &[AppRun]) -> String {
     out.push('\n');
     for run in runs {
         out.push_str(&run.quality.csv_rows());
+    }
+    out
+}
+
+/// Concatenate every run's full utilization/occupancy series into one
+/// CSV document (`app,side,series,interval,t0_s,value`). `BENCH_pic.json`
+/// carries only scalar rollups plus the bisection series; this is the
+/// artifact with everything, uploaded by CI next to the quality curves.
+pub fn utilization_csv(runs: &[AppRun]) -> String {
+    let mut out = String::from(UtilizationReport::csv_header());
+    out.push('\n');
+    for run in runs {
+        out.push_str(&run.ic_utilization().csv_rows(run.app, "ic"));
+        out.push_str(&run.pic_utilization().csv_rows(run.app, "pic"));
     }
     out
 }
@@ -322,6 +366,17 @@ mod tests {
         assert_eq!(apps[0].get("app").unwrap().as_str(), Some("linsolve"));
         assert!(apps[0].get("ic").unwrap().get("total_s").is_some());
         assert!(apps[0].get("pic").unwrap().get("iterations").is_some());
+        let util = apps[0].get("utilization").unwrap();
+        for side in ["ic", "pic"] {
+            let u = util.get(side).unwrap();
+            assert!(u.get("horizon_s").unwrap().as_f64().unwrap() > 0.0);
+            assert!(u.get("links").unwrap().get("bisection").is_some());
+            assert!(u.get("bisection_saturated").is_some());
+            assert!(matches!(
+                u.get("bisection_util").unwrap(),
+                json::Json::Arr(_)
+            ));
+        }
         // Self-diff passes; a perturbed copy fails.
         assert!(json::diff(&parsed, &parsed, 1e-9).is_empty());
     }
@@ -382,6 +437,53 @@ mod tests {
             diffs.iter().any(|d| d.contains("ic_iterations")),
             "drifted ic_iterations not flagged: {diffs:?}"
         );
+    }
+
+    /// The gate must also catch utilization drift: a perturbed
+    /// `peak_util` beyond the band is flagged, and a perturbed byte
+    /// total is exact-gated.
+    #[test]
+    fn utilization_drift_is_a_regression() {
+        let ctx = ExperimentCtx { scale: 0.01 };
+        let doc = bench_json(&ctx, &linsolve_runs());
+        let baseline = json::parse(&doc).unwrap();
+
+        let key = r#""peak_util": "#;
+        let start = doc.find(key).expect("peak_util in json") + key.len();
+        let end = start + doc[start..].find(',').unwrap();
+        let v: f64 = doc[start..end].trim().parse().unwrap();
+        let drifted = format!("{}{}{}", &doc[..start], v + 1.0, &doc[end..]);
+        let diffs = json::diff(&baseline, &json::parse(&drifted).unwrap(), 1e-6);
+        assert!(
+            diffs.iter().any(|d| d.contains("peak_util")),
+            "drifted peak_util not flagged: {diffs:?}"
+        );
+
+        let key = r#""total_bytes": "#;
+        let start = doc.find(key).expect("total_bytes in json") + key.len();
+        let end = start + doc[start..].find(',').unwrap();
+        let n: u64 = doc[start..end].trim().parse().unwrap();
+        let drifted = format!("{}{}{}", &doc[..start], n + 1, &doc[end..]);
+        let diffs = json::diff(&baseline, &json::parse(&drifted).unwrap(), 1e-6);
+        assert!(
+            diffs.iter().any(|d| d.contains("total_bytes")),
+            "drifted total_bytes not flagged: {diffs:?}"
+        );
+    }
+
+    #[test]
+    fn utilization_csv_covers_both_sides_of_every_run() {
+        let runs = linsolve_runs();
+        let doc = utilization_csv(&runs);
+        let mut lines = doc.lines();
+        assert_eq!(lines.next(), Some("app,side,series,interval,t0_s,value"));
+        assert!(doc.contains("\nlinsolve,ic,link:bisection,"));
+        assert!(doc.contains("\nlinsolve,pic,link:bisection,"));
+        assert!(doc.contains("slots:map,"));
+        // 4 links + at least one slot group, both sides, one row per
+        // interval each — never fewer rows than the links alone imply.
+        let intervals = runs[0].ic_utilization().intervals;
+        assert!(doc.lines().count() > 1 + 2 * 4 * intervals);
     }
 
     #[test]

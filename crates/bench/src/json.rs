@@ -223,7 +223,8 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 /// Compare `fresh` against `baseline` under the report tolerance bands:
 ///
 /// * keys starting `host_` — skipped (wall-clock, legitimately varies);
-/// * numbers under keys ending `_s` or `_x` — relative epsilon;
+/// * numbers under keys ending `_s`, `_x`, `_err` (or `err`), or
+///   `_util` — relative epsilon;
 /// * every other number — exact (raw literal, then parsed value);
 /// * strings / bools / nulls / structure — exact; missing or extra keys
 ///   and length mismatches are regressions.
@@ -237,9 +238,15 @@ pub fn diff(baseline: &Json, fresh: &Json, epsilon: f64) -> Vec<String> {
 
 /// True when the innermost object key puts a number under the relative-
 /// epsilon band (simulated seconds `_s`, ratios `_x`, error metrics
-/// `_err` / curve-point `err` — DESIGN.md §10's tolerance-band policy).
+/// `_err` / curve-point `err` — DESIGN.md §10's tolerance-band policy —
+/// and utilization fractions `_util`, DESIGN.md §11). Byte totals,
+/// interval counts and slot counts stay exact.
 fn is_toleranced(key: &str) -> bool {
-    key.ends_with("_s") || key.ends_with("_x") || key.ends_with("_err") || key == "err"
+    key.ends_with("_s")
+        || key.ends_with("_x")
+        || key.ends_with("_err")
+        || key == "err"
+        || key.ends_with("_util")
 }
 
 fn walk(path: &str, key: &str, a: &Json, b: &Json, eps: f64, out: &mut Vec<String>) {
@@ -393,6 +400,73 @@ mod tests {
         let e1 = obj(r#"{"stderr": 1.0}"#);
         let e2 = obj(r#"{"stderr": 1.0000000000001}"#);
         assert_eq!(diff(&e1, &e2, 1e-9).len(), 1, "plain 'stderr' is exact");
+    }
+
+    /// The Chrome trace export (spans, instants, counter tracks,
+    /// thread-name metadata) must be valid JSON by this crate's own
+    /// parser — the same parser the regression gate trusts.
+    #[test]
+    fn chrome_export_round_trips_through_the_parser() {
+        use pic_simnet::trace::CounterTrack;
+        use pic_simnet::{Tracer, TrafficClass, TrafficLedger};
+        let tracer = Tracer::standalone();
+        let ledger = TrafficLedger::traced(tracer.clone());
+        let job = tracer.begin_at("job:\"quoted\"", "job", 0.0);
+        tracer.span_at_in("map-slot-0", "task-0", "task", 0.0, 1.5, vec![]);
+        ledger.add_over(TrafficClass::ShuffleBisection, 4096, 0.5, 2.0);
+        tracer.end_at(job, 3.0);
+        let tracks = vec![CounterTrack {
+            name: "util:bisection".to_string(),
+            points: vec![(0.0, 0.0), (1.0, 0.75)],
+        }];
+        let doc = tracer.trace().to_chrome_json_with_counters(&tracks);
+        let parsed = parse(&doc).unwrap();
+        let events = match parsed.get("traceEvents").unwrap() {
+            Json::Arr(a) => a,
+            other => panic!("traceEvents not an array: {other:?}"),
+        };
+        let phase = |e: &Json| e.get("ph").and_then(|p| p.as_str().map(str::to_string));
+        assert!(events.iter().any(|e| phase(e).as_deref() == Some("X")));
+        assert!(events.iter().any(|e| phase(e).as_deref() == Some("i")));
+        let counters: Vec<&Json> = events
+            .iter()
+            .filter(|e| phase(e).as_deref() == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2, "one event per counter point");
+        assert_eq!(
+            counters[1]
+                .get("args")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(0.75)
+        );
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name")));
+    }
+
+    #[test]
+    fn utilization_keys_use_relative_epsilon() {
+        // `*_util` scalars and `*_util` series elements (arrays inherit
+        // the array's key) sit in the tolerance band; byte totals under
+        // the same object stay exact.
+        let a = obj(r#"{"peak_util": 0.8, "bisection_util": [0.5, 1.0], "total_bytes": 10}"#);
+        let within = obj(
+            r#"{"peak_util": 0.8000000000001, "bisection_util": [0.5, 1.0000000000001], "total_bytes": 10}"#,
+        );
+        assert!(diff(&a, &within, 1e-9).is_empty());
+        let beyond = obj(r#"{"peak_util": 0.81, "bisection_util": [0.5, 1.0], "total_bytes": 10}"#);
+        let d = diff(&a, &beyond, 1e-9);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].contains("$.peak_util") && d[0].contains("epsilon"),
+            "{d:?}"
+        );
+        let bytes_off =
+            obj(r#"{"peak_util": 0.8, "bisection_util": [0.5, 1.0], "total_bytes": 11}"#);
+        assert_eq!(diff(&a, &bytes_off, 1e-9).len(), 1, "bytes stay exact");
     }
 
     #[test]

@@ -134,15 +134,25 @@ pub fn run_pic<A: PicApp + QualityProbe>(
         // cluster-wide shuffle plus a replicated rewrite.
         let t_repart = engine.now();
         let cost = transfer::shuffle(spec, &(0..spec.nodes), data.total_bytes);
-        engine
-            .ledger()
-            .add(TrafficClass::ShuffleLocal, cost.local_bytes);
-        engine
-            .ledger()
-            .add(TrafficClass::ShuffleRack, cost.rack_bytes);
-        engine
-            .ledger()
-            .add(TrafficClass::ShuffleBisection, cost.bisection_bytes);
+        engine.ledger().add_over(
+            TrafficClass::ShuffleLocal,
+            cost.local_bytes,
+            t_repart,
+            t_repart + cost.seconds,
+        );
+        engine.ledger().add_over(
+            TrafficClass::ShuffleRack,
+            cost.rack_bytes,
+            t_repart,
+            t_repart + cost.seconds,
+        );
+        let bisection_s = cost.bisection_bytes as f64 / spec.bisection_bw;
+        engine.ledger().add_over(
+            TrafficClass::ShuffleBisection,
+            cost.bisection_bytes,
+            t_repart,
+            t_repart + bisection_s.min(cost.seconds),
+        );
         engine.advance(cost.seconds);
         engine.dfs().overwrite(
             &format!("{}/{}.partitioned", opts.model_path, app.name()),
@@ -195,7 +205,9 @@ pub fn run_pic<A: PicApp + QualityProbe>(
         let mut bcast_bytes: u64 = 0;
         for (g, sm) in groups.iter().zip(&sub_models) {
             let (s, net) = transfer::broadcast(spec, g.len(), sm.byte_size());
-            engine.ledger().add(TrafficClass::Broadcast, net);
+            engine
+                .ledger()
+                .add_over(TrafficClass::Broadcast, net, t_bcast, t_bcast + s);
             bcast_s = bcast_s.max(s);
             bcast_bytes += net;
         }

@@ -126,7 +126,9 @@ impl Dfs {
         // *full* replicated volume, matching how Hadoop counters report
         // "bytes written".
         let copies = self.spec.replication.min(self.spec.nodes) as u64;
-        self.ledger.add(class, bytes * copies);
+        let (secs, _net) = transfer::dfs_write(&self.spec, bytes);
+        let t0 = self.tracer.now();
+        self.ledger.add_over(class, bytes * copies, t0, t0 + secs);
         self.tracer.instant(
             "write",
             "dfs",
@@ -137,7 +139,6 @@ impl Dfs {
                 ("class".to_string(), Payload::Str(class.label().to_string())),
             ],
         );
-        let (secs, _net) = transfer::dfs_write(&self.spec, bytes);
         self.files.write().insert(
             path.to_string(),
             FileMeta {
@@ -173,8 +174,13 @@ impl Dfs {
                 secs += transfer::local_disk_s(&self.spec, blk);
             } else {
                 let src = replicas.first().copied().unwrap_or(reader);
-                self.ledger.add(TrafficClass::DfsRead, blk);
-                secs += transfer::point_to_point_s(&self.spec, src, reader, blk);
+                let blk_s = transfer::point_to_point_s(&self.spec, src, reader, blk);
+                // Blocks stream back to back, so block `i`'s transfer
+                // occupies the window right after its predecessors'.
+                let t0 = self.tracer.now() + secs;
+                self.ledger
+                    .add_over(TrafficClass::DfsRead, blk, t0, t0 + blk_s);
+                secs += blk_s;
             }
         }
         Ok(secs)

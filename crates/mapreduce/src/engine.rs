@@ -144,7 +144,8 @@ impl Engine {
     pub fn broadcast_model(&self, bytes: u64, group: &std::ops::Range<NodeId>) {
         let t0 = self.now();
         let (secs, net) = transfer::broadcast(&self.spec, group.len(), bytes);
-        self.ledger.add(TrafficClass::Broadcast, net);
+        self.ledger
+            .add_over(TrafficClass::Broadcast, net, t0, t0 + secs);
         self.tracer.span_at(
             "broadcast",
             "transfer",
@@ -165,7 +166,6 @@ impl Engine {
             return;
         }
         let t0 = self.now();
-        self.ledger.add(TrafficClass::Broadcast, bytes);
         // Ceiling division: with uneven slicing some node pulls the
         // remainder, so the per-slice bound must not round down (a
         // `bytes / m` floor undercounts whenever `m` does not divide
@@ -173,6 +173,8 @@ impl Engine {
         let slice = bytes.div_ceil(m);
         let servers_bw = self.spec.replication as f64 * self.spec.nic_bw;
         let secs = (slice as f64 / self.spec.nic_bw).max(bytes as f64 / servers_bw);
+        self.ledger
+            .add_over(TrafficClass::Broadcast, bytes, t0, t0 + secs);
         self.tracer.span_at(
             "scatter",
             "transfer",
@@ -188,7 +190,8 @@ impl Engine {
     pub fn gather_models(&self, m: usize, bytes_each: u64) {
         let t0 = self.now();
         let (secs, net) = transfer::gather(&self.spec, m, bytes_each);
-        self.ledger.add(TrafficClass::Merge, net);
+        self.ledger
+            .add_over(TrafficClass::Merge, net, t0, t0 + secs);
         self.tracer.span_at(
             "gather",
             "transfer",
@@ -205,7 +208,8 @@ impl Engine {
     pub fn gather_models_sized(&self, sizes: &[u64]) {
         let t0 = self.now();
         let (secs, net) = transfer::gather_sized(&self.spec, sizes);
-        self.ledger.add(TrafficClass::Merge, net);
+        self.ledger
+            .add_over(TrafficClass::Merge, net, t0, t0 + secs);
         self.tracer.span_at(
             "gather",
             "transfer",
@@ -487,11 +491,6 @@ impl Engine {
             stats.shuffle_records += mo.shuffle_pairs as u64;
             stats.counters.merge(&mo.counters);
         }
-        // Raw map output is serialized and spilled to the task's local
-        // disk before the combiner runs — Hadoop's "Map output bytes".
-        self.ledger
-            .add(TrafficClass::MapSpill, stats.map_output_bytes);
-
         // ---- Map scheduling. --------------------------------------------
         let map_tasks: Vec<TaskSpec> = map_outs
             .iter()
@@ -552,11 +551,28 @@ impl Engine {
         stats.rack_local_tasks = map_outcome.rack_local;
         stats.remote_tasks = map_outcome.remote;
 
-        // Remote/rack-local map inputs travel the network: charge DfsRead.
+        // Raw map output is serialized and spilled to the tasks' local
+        // disks before the combiner runs — Hadoop's "Map output bytes".
+        // The spills happen throughout the map phase, whose extent is
+        // only known once scheduling ran, so the charge is windowed here.
+        let map_window = (t_phase, t_phase + map_outcome.makespan_s);
+        self.ledger.add_over(
+            TrafficClass::MapSpill,
+            stats.map_output_bytes,
+            map_window.0,
+            map_window.1,
+        );
+
+        // Remote/rack-local map inputs travel the network: charge DfsRead,
+        // spread over the map phase that issues the reads.
         for (i, loc) in map_outcome.locality.iter().enumerate() {
             if !input.splits[i].hosts.is_empty() && *loc != Locality::NodeLocal {
-                self.ledger
-                    .add(TrafficClass::DfsRead, input.splits[i].bytes);
+                self.ledger.add_over(
+                    TrafficClass::DfsRead,
+                    input.splits[i].bytes,
+                    map_window.0,
+                    map_window.1,
+                );
             }
         }
 
@@ -564,12 +580,32 @@ impl Engine {
         let shuffle_bytes: u64 = map_outs.iter().map(|mo| mo.shuffle_bytes).sum();
         stats.shuffle_bytes = shuffle_bytes;
         let shuffle_cost = transfer::shuffle(&self.spec, &group, shuffle_bytes);
-        self.ledger
-            .add(TrafficClass::ShuffleLocal, shuffle_cost.local_bytes);
-        self.ledger
-            .add(TrafficClass::ShuffleRack, shuffle_cost.rack_bytes);
-        self.ledger
-            .add(TrafficClass::ShuffleBisection, shuffle_cost.bisection_bytes);
+        // Window each split over the interval its link is actually busy:
+        // local and rack bytes stream for the whole modelled shuffle,
+        // while the bisection share is done after its own serialization
+        // time (`bisection_bytes / bisection_bw` — the same term that can
+        // bound `shuffle_cost.seconds`), so during that window the
+        // bisection runs at full utilization, which is what the paper's
+        // saturation argument is about.
+        self.ledger.add_over(
+            TrafficClass::ShuffleLocal,
+            shuffle_cost.local_bytes,
+            t_phase,
+            t_phase + shuffle_cost.seconds,
+        );
+        self.ledger.add_over(
+            TrafficClass::ShuffleRack,
+            shuffle_cost.rack_bytes,
+            t_phase,
+            t_phase + shuffle_cost.seconds,
+        );
+        let bisection_s = shuffle_cost.bisection_bytes as f64 / self.spec.bisection_bw;
+        self.ledger.add_over(
+            TrafficClass::ShuffleBisection,
+            shuffle_cost.bisection_bytes,
+            t_phase,
+            t_phase + bisection_s.min(shuffle_cost.seconds),
+        );
         stats.shuffle_time_s = shuffle_cost.seconds;
         // The shuffle runs concurrently with the map phase, so it gets
         // its own display lane rather than nesting inside the map span.

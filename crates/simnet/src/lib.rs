@@ -23,6 +23,10 @@
 //! * [`SlotScheduler`] — a discrete-event simulator that places tasks with
 //!   measured durations onto the cluster's map/reduce slots in waves, with
 //!   data-locality preference, and reports the makespan.
+//! * [`timeline`] — time-resolved utilization derived from a trace: link
+//!   and slot-pool series against [`ClusterSpec`] capacities, bisection
+//!   saturated-seconds, and compute↔comms overlap
+//!   ([`UtilizationReport`]).
 //!
 //! Real computation happens elsewhere (the `pic-mapreduce` engine runs map
 //! and reduce functions for real on a rayon pool); this crate only answers
@@ -35,6 +39,7 @@ pub mod clock;
 pub mod event;
 pub mod report;
 pub mod scheduler;
+pub mod timeline;
 pub mod topology;
 pub mod trace;
 pub mod traffic;
@@ -45,6 +50,7 @@ pub use report::{
     CriticalPath, CriticalSegment, IterationRollup, PerfReport, QualityPoint, QualityReport,
 };
 pub use scheduler::{ScheduleOutcome, SlotScheduler, TaskLaunch, TaskSpec};
+pub use timeline::{LinkClass, LinkSeries, Saturation, SlotSeries, UtilizationReport};
 pub use topology::{ClusterSpec, NodeId, RackId};
-pub use trace::{MetricsRegistry, Payload, Trace, Tracer};
+pub use trace::{CounterTrack, MetricsRegistry, Payload, Trace, Tracer};
 pub use traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};

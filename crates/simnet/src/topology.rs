@@ -384,6 +384,100 @@ mod tests {
     }
 
     #[test]
+    fn preset_oversubscription_ratios_are_exact() {
+        // These ratios feed the timeline's saturation accounting
+        // (DESIGN.md §11), so pin them exactly — every term is a ratio
+        // of the constants above and must not drift.
+        assert_eq!(ClusterSpec::small().oversubscription(), 1.0);
+        assert_eq!(
+            ClusterSpec::medium().oversubscription(),
+            32.0 * GBE / (3.0 * TEN_GBE),
+            "64 GbE nodes behind a 3x10GbE bisection"
+        );
+        assert_eq!(ClusterSpec::single().oversubscription(), 0.5);
+        // custom() derives the bisection *from* the requested ratio, so
+        // the round trip is exact by construction.
+        assert_eq!(ClusterSpec::custom(32, 8, 4, 4.0).oversubscription(), 4.0);
+        assert_eq!(ClusterSpec::custom(10, 4, 2, 1.0).oversubscription(), 1.0);
+    }
+
+    /// `spec` must fail validation with a message containing every
+    /// fragment (check_negative.rs style, for the single-error API).
+    fn assert_rejected(spec: &ClusterSpec, fragments: &[&str]) {
+        let err = spec
+            .validate()
+            .expect_err("spec unexpectedly validated clean");
+        assert!(
+            fragments.iter().all(|f| err.contains(f)),
+            "error {err:?} does not contain all of {fragments:?}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_and_non_positive_bandwidths() {
+        let mut s = ClusterSpec::small();
+        s.nic_bw = f64::NAN;
+        assert_rejected(&s, &["bandwidths must be finite and positive", "NaN"]);
+
+        let mut s = ClusterSpec::small();
+        s.bisection_bw = f64::INFINITY;
+        assert_rejected(&s, &["bandwidths must be finite and positive", "inf"]);
+
+        let mut s = ClusterSpec::small();
+        s.disk_bw = 0.0;
+        assert_rejected(&s, &["bandwidths must be finite and positive (got 0)"]);
+
+        let mut s = ClusterSpec::small();
+        s.rack_uplink_bw = -125_000_000.0;
+        assert_rejected(
+            &s,
+            &["bandwidths must be finite and positive", "-125000000"],
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_slots_and_counts() {
+        let mut s = ClusterSpec::small();
+        s.map_slots = 0;
+        assert_rejected(&s, &["slot counts must be > 0"]);
+
+        let mut s = ClusterSpec::small();
+        s.reduce_slots = 0;
+        assert_rejected(&s, &["slot counts must be > 0"]);
+
+        let mut s = ClusterSpec::small();
+        s.nodes = 0;
+        assert_rejected(&s, &["nodes must be > 0"]);
+
+        let mut s = ClusterSpec::small();
+        s.cores_per_node = 0;
+        assert_rejected(&s, &["cores_per_node must be > 0"]);
+
+        let mut s = ClusterSpec::small();
+        s.replication = 0;
+        assert_rejected(&s, &["replication must be >= 1"]);
+    }
+
+    #[test]
+    fn validate_rejects_impossible_rack_layouts_and_overheads() {
+        let mut s = ClusterSpec::small(); // 6 nodes
+        s.racks = 0;
+        assert_rejected(&s, &["racks must be in 1..=6 (got 0)"]);
+
+        let mut s = ClusterSpec::small();
+        s.racks = 7;
+        assert_rejected(&s, &["racks must be in 1..=6 (got 7)"]);
+
+        let mut s = ClusterSpec::small();
+        s.task_overhead_s = -0.1;
+        assert_rejected(&s, &["overheads must be non-negative"]);
+
+        let mut s = ClusterSpec::small();
+        s.job_overhead_s = f64::NEG_INFINITY;
+        assert_rejected(&s, &["overheads must be non-negative"]);
+    }
+
+    #[test]
     #[should_panic(expected = "ratio")]
     fn sub_unit_oversubscription_rejected() {
         ClusterSpec::custom(8, 4, 2, 0.5);

@@ -153,6 +153,22 @@ pub struct Trace {
 /// The default display lane for driver-side spans and events.
 pub const DRIVER_LANE: &str = "driver";
 
+/// The display lane carrying derived counter tracks in the Chrome
+/// export ([`Trace::to_chrome_json_with_counters`]).
+pub const COUNTER_LANE: &str = "utilization";
+
+/// A derived counter series — `(t_seconds, value)` samples — exported
+/// as Chrome `"ph":"C"` counter events on the [`COUNTER_LANE`] lane.
+/// [`crate::timeline::UtilizationReport::counter_tracks`] produces one
+/// per link class and slot group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterTrack {
+    /// Counter name (one plot track in Chrome, e.g. `util:bisection`).
+    pub name: String,
+    /// `(simulated seconds, value)` samples, ascending in time.
+    pub points: Vec<(f64, f64)>,
+}
+
 #[derive(Debug, Default)]
 struct State {
     spans: Vec<Span>,
@@ -382,6 +398,27 @@ impl Tracer {
         );
     }
 
+    /// [`Tracer::traffic_event`] for a charge whose transfer occupies the
+    /// simulated window `[w0, w1]`. The window rides along as `w0`/`w1`
+    /// args so `crate::timeline` can spread the bytes over the interval
+    /// they actually moved in; byte reconciliation is untouched because
+    /// [`Trace::traffic_totals`] only reads the `bytes` payload. Called by
+    /// [`crate::traffic::TrafficLedger::add_over`].
+    pub fn traffic_event_over(&self, class: TrafficClass, bytes: u64, w0: f64, w1: f64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.instant(
+            class.label(),
+            "traffic",
+            vec![
+                ("bytes".to_string(), Payload::U64(bytes)),
+                ("w0".to_string(), Payload::F64(w0)),
+                ("w1".to_string(), Payload::F64(w1)),
+            ],
+        );
+    }
+
     /// Snapshot everything recorded so far. Spans still open are closed
     /// at the current simulated time *in the snapshot only*.
     pub fn trace(&self) -> Trace {
@@ -455,6 +492,14 @@ impl Trace {
     /// `thread_name` metadata naming each lane. Timestamps are
     /// microseconds of simulated time.
     pub fn to_chrome_json(&self) -> String {
+        self.to_chrome_json_with_counters(&[])
+    }
+
+    /// [`Trace::to_chrome_json`] plus derived counter tracks: each
+    /// [`CounterTrack`] sample becomes a `"ph":"C"` event on the
+    /// [`COUNTER_LANE`] lane, so utilization/occupancy series plot as
+    /// counter graphs under the trace.
+    pub fn to_chrome_json_with_counters(&self, counters: &[CounterTrack]) -> String {
         // Intern lanes in first-appearance order; the driver lane is tid 0.
         fn tid_of(lanes: &mut Vec<String>, lane: &str) -> usize {
             match lanes.iter().position(|l| l == lane) {
@@ -494,6 +539,22 @@ impl Trace {
                 json_string(i.cat),
                 json_args(&i.args),
             ));
+        }
+        for track in counters {
+            let tid = tid_of(&mut lanes, COUNTER_LANE);
+            for (t, v) in &track.points {
+                let value = if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".to_string()
+                };
+                events.push(format!(
+                    "{{\"ph\":\"C\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\
+                     \"name\":{},\"cat\":\"counter\",\"args\":{{\"value\":{value}}}}}",
+                    t * 1e6,
+                    json_string(&track.name),
+                ));
+            }
         }
         for (tid, lane) in lanes.iter().enumerate() {
             events.push(format!(
@@ -885,6 +946,7 @@ mod tests {
         t.span_at("s", "phase", 0.0, 1.0, Vec::new());
         t.span_at_in("lane", "s2", "task", 0.0, 1.0, Vec::new());
         t.traffic_event(TrafficClass::Broadcast, 99);
+        t.traffic_event_over(TrafficClass::Merge, 99, 0.0, 1.0);
         t.end(id2);
         t.end_at(id, 2.0);
         t.clear();
@@ -1060,6 +1122,28 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn counter_tracks_export_on_their_own_lane() {
+        let (t, clock) = tracer();
+        let job = t.begin("job", "job");
+        clock.lock().advance(2.0);
+        t.end(job);
+        let tracks = vec![CounterTrack {
+            name: "util:bisection".to_string(),
+            points: vec![(0.0, 0.5), (1.0, 1.0), (2.0, f64::NAN)],
+        }];
+        let json = t.trace().to_chrome_json_with_counters(&tracks);
+        assert!(json.contains("\"name\":\"util:bisection\""));
+        assert!(json.contains("\"args\":{\"value\":0.5}"));
+        assert!(json.contains("\"args\":{\"value\":null}"), "NaN -> null");
+        assert!(json.contains(&format!("\"name\":{}", json_string(COUNTER_LANE))));
+        // The no-counter export is byte-identical to plain to_chrome_json.
+        assert_eq!(
+            t.trace().to_chrome_json(),
+            t.trace().to_chrome_json_with_counters(&[])
+        );
     }
 
     #[test]

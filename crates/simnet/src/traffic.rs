@@ -118,6 +118,16 @@ impl TrafficLedger {
         self.tracer.traffic_event(class, bytes);
     }
 
+    /// Add `bytes` to `class`, recording that the transfer occupied the
+    /// simulated window `[w0, w1]`. Totals are identical to [`Self::add`];
+    /// the window only refines *when* the bytes count against a link in
+    /// `crate::timeline`. Charges without a window are attributed as an
+    /// impulse at their emission time.
+    pub fn add_over(&self, class: TrafficClass, bytes: u64, w0: f64, w1: f64) {
+        self.bytes[class.index()].fetch_add(bytes, Ordering::Relaxed);
+        self.tracer.traffic_event_over(class, bytes, w0, w1);
+    }
+
     /// Bytes recorded for `class` so far.
     pub fn get(&self, class: TrafficClass) -> u64 {
         self.bytes[class.index()].load(Ordering::Relaxed)
