@@ -27,7 +27,7 @@
 //! ```
 
 use pic_bench::experiments::common::cost;
-use pic_bench::experiments::{report as perf, ExperimentCtx};
+use pic_bench::experiments::{chaos, report as perf, ExperimentCtx};
 use pic_bench::table::{fmt_bytes, fmt_secs, fmt_x, Table};
 use pic_core::prelude::*;
 use pic_mapreduce::{Dataset, Engine};
@@ -131,13 +131,22 @@ fn usage(err: &str) -> ! {
            --quality            print only the quality-of-convergence sections\n\
            --csv <path>         write the per-app convergence curves as CSV\n\
            --util-csv <path>    write the utilization/occupancy series as CSV\n\
+           --chaos-csv <path>   write the quality-under-failure campaign as CSV\n\
          \n\
          usage: pic timeline [flags] — utilization heatmaps, IC vs PIC (DESIGN.md §11)\n\
          \n\
          flags:\n\
            --scale <f>          workload scale multiplier (default 1.0)\n\
            --apps <a,b,..>      subset of kmeans,pagerank,neuralnet,linsolve,smoothing\n\
-           --width <n>          heatmap cells per side (default 48)"
+           --width <n>          heatmap cells per side (default 48)\n\
+         \n\
+         usage: pic chaos [flags] — fault-injection campaign, IC vs PIC (DESIGN.md §12)\n\
+         \n\
+         flags:\n\
+           --scale <f>          workload scale multiplier (default 1.0)\n\
+           --scenarios <a,b,..> subset of the scenario matrix (default all)\n\
+           --csv <path>         write the campaign cells as CSV\n\
+           --list-scenarios     print the valid scenario names and exit"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -154,6 +163,7 @@ fn run_report(argv: &[String]) -> ! {
     let mut quality_only = false;
     let mut csv_path: Option<String> = None;
     let mut util_csv_path: Option<String> = None;
+    let mut chaos_csv_path: Option<String> = None;
 
     let mut i = 0;
     while i < argv.len() {
@@ -187,6 +197,7 @@ fn run_report(argv: &[String]) -> ! {
             "--quality" => quality_only = true,
             "--csv" => csv_path = Some(take(&mut i)),
             "--util-csv" => util_csv_path = Some(take(&mut i)),
+            "--chaos-csv" => chaos_csv_path = Some(take(&mut i)),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
         }
@@ -195,6 +206,14 @@ fn run_report(argv: &[String]) -> ! {
 
     let app_refs: Vec<&str> = apps.iter().map(String::as_str).collect();
     let runs = perf::collect(&ctx, &app_refs).unwrap_or_else(|e| usage(&e));
+
+    // The campaign backs both the JSON's quality-under-failure section
+    // and the CSV artifact; skip it when neither output is requested.
+    let cells = if json_path.is_some() || chaos_csv_path.is_some() {
+        chaos::campaign(&ctx, &chaos::SCENARIOS).unwrap_or_else(|e| usage(&e))
+    } else {
+        Vec::new()
+    };
 
     for run in &runs {
         if quality_only {
@@ -250,8 +269,17 @@ fn run_report(argv: &[String]) -> ! {
         }
     }
 
+    if let Some(path) = &chaos_csv_path {
+        let doc = chaos::chaos_csv(&cells);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[pic report] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[pic report] wrote {path} ({} bytes)", doc.len());
+    }
+
     if let Some(path) = &json_path {
-        let doc = perf::bench_json(&ctx, &runs);
+        let doc = perf::bench_json(&ctx, &runs, &cells);
         std::fs::write(path, &doc).unwrap_or_else(|e| {
             eprintln!("[pic report] cannot write {path}: {e}");
             std::process::exit(2);
@@ -338,6 +366,81 @@ fn run_timeline(argv: &[String]) -> ! {
             "{}",
             pic_simnet::timeline::render_side_by_side(&ic, &pic, width)
         );
+    }
+    std::process::exit(0);
+}
+
+/// `pic chaos`: run the fault-injection campaign (DESIGN.md §12) and
+/// print one row per (app, scenario, driver) cell.
+fn run_chaos(argv: &[String]) -> ! {
+    let mut ctx = ExperimentCtx::default();
+    let mut scenarios: Vec<String> = chaos::SCENARIOS.iter().map(|s| s.to_string()).collect();
+    let mut csv_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| usage("flag needs a value"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--list-scenarios" => {
+                for s in chaos::SCENARIOS {
+                    println!("{s}");
+                }
+                std::process::exit(0);
+            }
+            "--scale" => {
+                ctx.scale = take(&mut i).parse().unwrap_or_else(|_| usage("--scale"));
+                if !(ctx.scale > 0.0) {
+                    usage("--scale must be positive");
+                }
+            }
+            "--scenarios" => {
+                scenarios = take(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--csv" => csv_path = Some(take(&mut i)),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+
+    let scenario_refs: Vec<&str> = scenarios.iter().map(String::as_str).collect();
+    let cells = chaos::campaign(&ctx, &scenario_refs).unwrap_or_else(|e| usage(&e));
+
+    let mut t = Table::new([
+        "app", "scenario", "driver", "clean", "faulty", "recovery", "bytes", "events", "tt-Δ",
+        "exact",
+    ]);
+    for c in &cells {
+        t.row([
+            c.app,
+            c.scenario,
+            c.driver,
+            &fmt_secs(c.clean_s),
+            &fmt_secs(c.faulty_s),
+            &fmt_secs(c.recovery_s),
+            &fmt_bytes(c.recovery_bytes),
+            &c.injected_events.to_string(),
+            &fmt_secs(c.tt_quality_delta_s),
+            if c.exact_result { "yes" } else { "no" },
+        ]);
+    }
+    println!("{}", t.render());
+
+    if let Some(path) = &csv_path {
+        let doc = chaos::chaos_csv(&cells);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[pic chaos] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[pic chaos] wrote {path} ({} bytes)", doc.len());
     }
     std::process::exit(0);
 }
@@ -430,6 +533,7 @@ fn main() {
     match argv.first().map(String::as_str) {
         Some("report") => run_report(&argv[1..]),
         Some("timeline") => run_timeline(&argv[1..]),
+        Some("chaos") => run_chaos(&argv[1..]),
         Some("--list-apps") => {
             for app in perf::APPS {
                 println!("{app}");

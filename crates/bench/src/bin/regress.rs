@@ -21,7 +21,7 @@
 //! diffing (how the committed file is regenerated after an intentional
 //! performance change).
 
-use pic_bench::experiments::{report as perf, ExperimentCtx};
+use pic_bench::experiments::{chaos, report as perf, ExperimentCtx};
 use pic_bench::json;
 
 struct Flags {
@@ -32,6 +32,7 @@ struct Flags {
     update: bool,
     csv: Option<String>,
     util_csv: Option<String>,
+    chaos_csv: Option<String>,
 }
 
 fn usage(err: &str) -> ! {
@@ -40,12 +41,15 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: regress [--baseline <path>] [--scale <f>] [--out <path>] \
-         [--epsilon <e>] [--csv <path>] [--util-csv <path>] [--update]\n\n\
-         Runs the pic-report suite and diffs the fresh BENCH_pic.json against\n\
-         the committed baseline (exact for bytes/counters, relative epsilon\n\
-         for *_s / *_x / *_err / *_util keys, host_* ignored). --update\n\
-         rewrites the baseline. --csv also writes the convergence curves as\n\
-         CSV; --util-csv writes the full utilization/occupancy series as CSV.\n\
+         [--epsilon <e>] [--csv <path>] [--util-csv <path>] \
+         [--chaos-csv <path>] [--update]\n\n\
+         Runs the pic-report suite plus the fault-injection campaign and\n\
+         diffs the fresh BENCH_pic.json against the committed baseline\n\
+         (exact for bytes/counters, relative epsilon for *_s / *_x / *_err\n\
+         / *_util keys — recovery_s and tt_quality_delta_s get a 100x-wider\n\
+         band — host_* ignored). --update rewrites the baseline. --csv also\n\
+         writes the convergence curves as CSV; --util-csv the utilization\n\
+         series; --chaos-csv the quality-under-failure campaign cells.\n\
          Defaults: --baseline BENCH_pic.json --scale 0.05\n\
          --out target/BENCH_pic.fresh.json --epsilon 1e-9"
     );
@@ -61,6 +65,7 @@ fn parse_flags() -> Flags {
         update: false,
         csv: None,
         util_csv: None,
+        chaos_csv: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -85,6 +90,7 @@ fn parse_flags() -> Flags {
             }
             "--csv" => flags.csv = Some(take(&mut i)),
             "--util-csv" => flags.util_csv = Some(take(&mut i)),
+            "--chaos-csv" => flags.chaos_csv = Some(take(&mut i)),
             "--update" => flags.update = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
@@ -101,7 +107,8 @@ fn main() {
     let t0 = std::time::Instant::now();
     let app_refs: Vec<&str> = perf::APPS.to_vec();
     let runs = perf::collect(&ctx, &app_refs).unwrap_or_else(|e| usage(&e));
-    let fresh_text = perf::bench_json(&ctx, &runs);
+    let cells = chaos::campaign(&ctx, &chaos::SCENARIOS).unwrap_or_else(|e| usage(&e));
+    let fresh_text = perf::bench_json(&ctx, &runs, &cells);
     eprintln!(
         "[regress] suite ran in {:.1}s (host time) at scale {}",
         t0.elapsed().as_secs_f64(),
@@ -138,6 +145,15 @@ fn main() {
             std::process::exit(2);
         });
         eprintln!("[regress] wrote utilization series to {path}");
+    }
+
+    if let Some(path) = &flags.chaos_csv {
+        let doc = chaos::chaos_csv(&cells);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[regress] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[regress] wrote quality-under-failure cells to {path}");
     }
 
     if flags.update {

@@ -1,0 +1,514 @@
+//! The chaos & elasticity campaign (DESIGN.md §12): run each app's IC
+//! and PIC sides under a deterministic fault scenario, compare against
+//! the clean run, and report recovery cost plus the time-to-quality
+//! penalty. The resulting cells feed the `quality_under_failure` section
+//! of `BENCH_pic.json` and the chaos CSV CI artifact.
+//!
+//! Fault times are derived from the clean run's own simulated duration
+//! (crash at 0.3 T, degradation over [0.2 T, 0.6 T], wave at 0.4 T), so
+//! every scenario lands mid-run at any workload scale. Chaos never
+//! touches host computation: crash / degrade / preemption cells must
+//! reproduce the clean run's answer exactly, and only `elastic-resize`
+//! (which changes the partitioning) may move the converged model.
+
+use super::common::cost::AppCost;
+use super::ExperimentCtx;
+use pic_core::prelude::*;
+use pic_mapreduce::{Dataset, Engine};
+use pic_simnet::chaos::FaultPlan;
+use pic_simnet::report::fmt_f64;
+use pic_simnet::trace::check;
+use pic_simnet::ClusterSpec;
+
+/// The fault scenarios of the campaign matrix, in report order.
+pub const SCENARIOS: [&str; 4] = [
+    "node-crash",
+    "rack-degrade",
+    "preemption-wave",
+    "elastic-resize",
+];
+
+/// The apps the campaign runs (a cheap, representative subset of the
+/// report apps: centroid model, dense vector model, grid model).
+pub const CHAOS_APPS: [&str; 3] = ["kmeans", "linsolve", "smoothing"];
+
+/// Seed every campaign plan is derived from (preemption victims etc.).
+const CAMPAIGN_SEED: u64 = 0xC1A0;
+
+/// One (app, scenario, driver) cell of the campaign matrix.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// Application name.
+    pub app: &'static str,
+    /// Fault scenario (one of [`SCENARIOS`]).
+    pub scenario: &'static str,
+    /// `"ic"` or `"pic"`.
+    pub driver: &'static str,
+    /// Clean-run simulated seconds.
+    pub clean_s: f64,
+    /// Faulty-run simulated seconds.
+    pub faulty_s: f64,
+    /// Extra simulated seconds the faults cost (`faulty - clean`).
+    pub recovery_s: f64,
+    /// Bytes the ledger charged to the recovery class (killed-attempt
+    /// refetches, DFS re-replication, rebalance passes).
+    pub recovery_bytes: u64,
+    /// Fault events the injector actually fired during the run.
+    pub injected_events: usize,
+    /// How much later the faulty run reaches the clean run's final
+    /// quality (with 5% slack), in simulated seconds.
+    pub tt_quality_delta_s: f64,
+    /// True when the faulty run converged to exactly the clean answer
+    /// (the crash/degrade/preemption invariant; resize may legitimately
+    /// differ).
+    pub exact_result: bool,
+}
+
+/// Build the scenario's fault plan from the clean run's duration
+/// `t_clean` on `spec`. Unknown names are an error listing the valid
+/// set.
+pub fn plan_for(
+    scenario: &str,
+    t_clean: f64,
+    spec: &ClusterSpec,
+    partitions: usize,
+) -> Result<FaultPlan, String> {
+    let plan = FaultPlan::new(CAMPAIGN_SEED);
+    match scenario {
+        "node-crash" => Ok(plan.node_crash(1 % spec.nodes, 0.3 * t_clean)),
+        "rack-degrade" => Ok(plan.degrade_links(4.0, 0.2 * t_clean, 0.6 * t_clean)),
+        "preemption-wave" => {
+            Ok(plan.preemption_wave(2usize.min(spec.nodes - 1).max(1), 0.4 * t_clean))
+        }
+        "elastic-resize" => Ok(plan.elastic_resize(1, partitions, (spec.nodes * 2 / 3).max(1))),
+        other => Err(format!("unknown scenario '{other}'; known: {SCENARIOS:?}")),
+    }
+}
+
+/// Canonical `'static` name for a validated scenario string.
+fn static_name(scenario: &str) -> &'static str {
+    SCENARIOS
+        .iter()
+        .find(|s| **s == scenario)
+        .copied()
+        .unwrap_or_else(|| panic!("scenario '{scenario}' not validated"))
+}
+
+/// First trajectory time at which `target` quality is reached.
+fn time_to_quality(traj: &[TrajectoryPoint], target: f64, fallback: f64) -> f64 {
+    traj.iter()
+        .find(|p| p.error <= target)
+        .map_or(fallback, |p| p.t_s)
+}
+
+/// Final trajectory error (every campaign app defines one).
+fn final_error(traj: &[TrajectoryPoint], who: &str) -> f64 {
+    traj.last()
+        .unwrap_or_else(|| panic!("{who}: empty trajectory"))
+        .error
+}
+
+/// One driver's run, clean or faulty, on its own fresh engine. The cell
+/// arithmetic needs clean and faulty runs to be *identical setups* —
+/// same DFS path, same split count, same options — so that
+/// `faulty - clean` isolates exactly what the fault plan cost and a
+/// never-firing plan yields a recovery of exactly zero.
+struct DriverRun<M> {
+    total_s: f64,
+    trajectory: Vec<TrajectoryPoint>,
+    model: M,
+    recovery_bytes: u64,
+    injected_events: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_driver<A: PicApp + QualityProbe>(
+    who: &str,
+    driver: &'static str,
+    spec: &ClusterSpec,
+    app: &A,
+    records: &[A::Record],
+    init: &A::Model,
+    splits: usize,
+    partitions: usize,
+    cost: &AppCost,
+    plan: Option<&FaultPlan>,
+) -> Result<DriverRun<A::Model>, String>
+where
+    A::Record: Clone,
+    A::Model: Clone,
+{
+    let engine = Engine::new(spec.clone());
+    let data = Dataset::create(&engine, "/chaos/input", records.to_vec(), splits);
+    engine.reset();
+    if let Some(p) = plan {
+        engine
+            .arm_chaos(p)
+            .map_err(|es| format!("{who}: invalid plan: {es:?}"))?;
+    }
+    let (total_s, trajectory, model) = if driver == "ic" {
+        let r = run_ic(
+            &engine,
+            app,
+            &data,
+            init.clone(),
+            &IcOptions {
+                timing: cost.timing.clone(),
+                ..Default::default()
+            },
+        );
+        (r.total_time_s, r.trajectory, r.final_model)
+    } else {
+        let r = run_pic(
+            &engine,
+            app,
+            &data,
+            init.clone(),
+            &PicOptions {
+                partitions,
+                timing: cost.timing.clone(),
+                local_secs_per_record: Some(cost.local_secs),
+                ..Default::default()
+            },
+        );
+        (r.total_time_s, r.trajectory, r.final_model)
+    };
+    // Every trace, clean or faulty, must satisfy the full structural
+    // suite, chaos checks included, and reconcile byte-exactly.
+    let trace = engine.trace();
+    let traffic = engine.traffic();
+    check::validate(&trace, &traffic).map_err(|es| format!("{who}: {es:?}"))?;
+    Ok(DriverRun {
+        total_s,
+        trajectory,
+        model,
+        recovery_bytes: traffic.recovery_total(),
+        injected_events: engine.chaos().injected_events(),
+    })
+}
+
+/// Run one app through both drivers under `scenario`, returning its two
+/// matrix cells. The clean per-driver baselines are taken as given so
+/// one pair of clean runs serves every scenario.
+#[allow(clippy::too_many_arguments)]
+fn cells_for<A: PicApp + QualityProbe>(
+    app_name: &'static str,
+    scenario: &'static str,
+    spec: &ClusterSpec,
+    app: &A,
+    records: &[A::Record],
+    init: &A::Model,
+    splits: usize,
+    partitions: usize,
+    cost: &AppCost,
+    clean: &[(&'static str, DriverRun<A::Model>)],
+) -> Result<Vec<ChaosCell>, String>
+where
+    A::Record: Clone,
+    A::Model: Clone + PartialEq,
+{
+    let mut cells = Vec::new();
+    for &(driver, ref clean_run) in clean {
+        let plan = plan_for(scenario, clean_run.total_s, spec, partitions)?;
+        let faulty = run_driver(
+            &format!("{app_name}/{scenario}/{driver}"),
+            driver,
+            spec,
+            app,
+            records,
+            init,
+            splits,
+            partitions,
+            cost,
+            Some(&plan),
+        )?;
+
+        let clean_final = final_error(&clean_run.trajectory, app_name);
+        let target = clean_final * 1.05 + 1e-12;
+        let tt_clean = time_to_quality(&clean_run.trajectory, target, clean_run.total_s);
+        let tt_faulty = time_to_quality(&faulty.trajectory, target, faulty.total_s);
+
+        cells.push(ChaosCell {
+            app: app_name,
+            scenario,
+            driver,
+            clean_s: clean_run.total_s,
+            faulty_s: faulty.total_s,
+            recovery_s: faulty.total_s - clean_run.total_s,
+            recovery_bytes: faulty.recovery_bytes,
+            injected_events: faulty.injected_events,
+            tt_quality_delta_s: tt_faulty - tt_clean,
+            exact_result: faulty.model == clean_run.model,
+        });
+    }
+    Ok(cells)
+}
+
+/// Per-driver clean baselines: one [`DriverRun`] per driver label.
+type CleanRuns<M> = Vec<(&'static str, DriverRun<M>)>;
+
+/// The two clean per-driver baselines for one app (shared by all of the
+/// app's scenarios).
+#[allow(clippy::too_many_arguments)]
+fn clean_runs<A: PicApp + QualityProbe>(
+    app_name: &'static str,
+    spec: &ClusterSpec,
+    app: &A,
+    records: &[A::Record],
+    init: &A::Model,
+    splits: usize,
+    partitions: usize,
+    cost: &AppCost,
+) -> Result<CleanRuns<A::Model>, String>
+where
+    A::Record: Clone,
+    A::Model: Clone,
+{
+    ["ic", "pic"]
+        .into_iter()
+        .map(|driver| {
+            run_driver(
+                &format!("{app_name}/clean/{driver}"),
+                driver,
+                spec,
+                app,
+                records,
+                init,
+                splits,
+                partitions,
+                cost,
+                None,
+            )
+            .map(|r| (driver, r))
+        })
+        .collect()
+}
+
+/// Run the campaign matrix: every app in [`CHAOS_APPS`] × every
+/// requested scenario × both drivers. Scenario names are validated up
+/// front so an unknown name fails before any run.
+pub fn campaign(ctx: &ExperimentCtx, scenarios: &[&str]) -> Result<Vec<ChaosCell>, String> {
+    for s in scenarios {
+        if !SCENARIOS.contains(s) {
+            return Err(format!("unknown scenario '{s}'; known: {SCENARIOS:?}"));
+        }
+    }
+    let mut cells = Vec::new();
+
+    // K-means: small mixture, centroid model.
+    {
+        use super::common::cost;
+        use pic_apps::kmeans::{gaussian_mixture, init_random_centroids, Centroids, KMeansApp};
+        let spec = ClusterSpec::small();
+        let app = KMeansApp::new(4, 2, 1.0);
+        let records = gaussian_mixture(ctx.n(2_000, 400), 4, 2, 1000.0, 40.0, 3);
+        let init = Centroids::new(init_random_centroids(4, 2, 1000.0, 7));
+        // Error metric: relative SSE excess on a subsample vs the
+        // sequential solution (same construction as fig2).
+        let sample: Vec<_> = records.iter().step_by(2).cloned().collect();
+        let reference = app.solve_reference(&sample, &init, 300);
+        let app = app.with_eval_sample(sample, &reference);
+        let (splits, partitions) = (6, 4);
+        let c = cost::kmeans();
+        let clean = clean_runs(
+            "kmeans", &spec, &app, &records, &init, splits, partitions, &c,
+        )?;
+        for &scenario in scenarios {
+            cells.extend(cells_for(
+                "kmeans",
+                static_name(scenario),
+                &spec,
+                &app,
+                &records,
+                &init,
+                splits,
+                partitions,
+                &c,
+                &clean,
+            )?);
+        }
+    }
+
+    // Linear solver: dense vector model, paper-exact size.
+    {
+        use super::common::cost;
+        use pic_apps::linsolve::{diag_dominant_system, LinSolveApp};
+        let spec = ClusterSpec::small();
+        let n = 100;
+        let sys = diag_dominant_system(n, 0.05, 11);
+        let app = LinSolveApp::new(n, 5, 1e-8)
+            .with_exact(sys.exact.clone())
+            .with_rows(sys.rows.clone());
+        let init = vec![0.0; n];
+        let (splits, partitions) = (5, 5);
+        let c = cost::linsolve();
+        let clean = clean_runs(
+            "linsolve", &spec, &app, &sys.rows, &init, splits, partitions, &c,
+        )?;
+        for &scenario in scenarios {
+            cells.extend(cells_for(
+                "linsolve",
+                static_name(scenario),
+                &spec,
+                &app,
+                &sys.rows,
+                &init,
+                splits,
+                partitions,
+                &c,
+                &clean,
+            )?);
+        }
+    }
+
+    // Smoothing: grid model.
+    {
+        use super::common::cost;
+        use pic_apps::smoothing::{noisy_image, SmoothingApp};
+        let spec = ClusterSpec::small();
+        let side = 64;
+        let f = noisy_image(side, side, 0.08, 5);
+        let app = SmoothingApp::new(side, side, 8, 1e-6).with_observed(f.clone());
+        let records = f.rows();
+        let (splits, partitions) = (8, 8);
+        let c = cost::smoothing(side);
+        let clean = clean_runs(
+            "smoothing",
+            &spec,
+            &app,
+            &records,
+            &f,
+            splits,
+            partitions,
+            &c,
+        )?;
+        for &scenario in scenarios {
+            cells.extend(cells_for(
+                "smoothing",
+                static_name(scenario),
+                &spec,
+                &app,
+                &records,
+                &f,
+                splits,
+                partitions,
+                &c,
+                &clean,
+            )?);
+        }
+    }
+
+    Ok(cells)
+}
+
+/// The campaign cells as JSON array items (for `bench_json`'s
+/// `quality_under_failure` section), indented by `indent` spaces.
+pub fn cells_json(cells: &[ChaosCell], indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let mut out = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!("{pad}{{\n"));
+        out.push_str(&format!("{pad}  \"app\": \"{}\",\n", c.app));
+        out.push_str(&format!("{pad}  \"scenario\": \"{}\",\n", c.scenario));
+        out.push_str(&format!("{pad}  \"driver\": \"{}\",\n", c.driver));
+        out.push_str(&format!("{pad}  \"clean_s\": {},\n", fmt_f64(c.clean_s)));
+        out.push_str(&format!("{pad}  \"faulty_s\": {},\n", fmt_f64(c.faulty_s)));
+        out.push_str(&format!(
+            "{pad}  \"recovery_s\": {},\n",
+            fmt_f64(c.recovery_s)
+        ));
+        out.push_str(&format!(
+            "{pad}  \"recovery_bytes\": {},\n",
+            c.recovery_bytes
+        ));
+        out.push_str(&format!(
+            "{pad}  \"injected_events\": {},\n",
+            c.injected_events
+        ));
+        out.push_str(&format!(
+            "{pad}  \"tt_quality_delta_s\": {},\n",
+            fmt_f64(c.tt_quality_delta_s)
+        ));
+        out.push_str(&format!("{pad}  \"exact_result\": {}\n", c.exact_result));
+        out.push_str(&format!(
+            "{pad}}}{}\n",
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out
+}
+
+/// CSV header for [`chaos_csv`].
+pub fn csv_header() -> &'static str {
+    "app,scenario,driver,clean_s,faulty_s,recovery_s,recovery_bytes,injected_events,\
+     tt_quality_delta_s,exact_result"
+}
+
+/// The campaign cells as one CSV document (the CI artifact).
+pub fn chaos_csv(cells: &[ChaosCell]) -> String {
+    let mut out = String::from(csv_header());
+    out.push('\n');
+    for c in cells {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            c.app,
+            c.scenario,
+            c.driver,
+            fmt_f64(c.clean_s),
+            fmt_f64(c.faulty_s),
+            fmt_f64(c.recovery_s),
+            c.recovery_bytes,
+            c.injected_events,
+            fmt_f64(c.tt_quality_delta_s),
+            c.exact_result,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_scenario_names_the_valid_set() {
+        let err = campaign(&ExperimentCtx { scale: 0.01 }, &["quake"]).unwrap_err();
+        assert!(err.contains("unknown scenario 'quake'"), "{err}");
+        for s in SCENARIOS {
+            assert!(err.contains(s), "error must name {s}: {err}");
+        }
+        let err = plan_for("quake", 10.0, &ClusterSpec::small(), 4).unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
+    }
+
+    #[test]
+    fn node_crash_cells_keep_exact_results_and_charge_recovery() {
+        let cells = campaign(&ExperimentCtx { scale: 0.01 }, &["node-crash"]).unwrap();
+        assert_eq!(cells.len(), CHAOS_APPS.len() * 2);
+        for c in &cells {
+            assert_eq!(c.scenario, "node-crash");
+            assert!(
+                c.exact_result,
+                "{}/{}: a crash must not change the answer",
+                c.app, c.driver
+            );
+            assert!(
+                c.injected_events >= 1,
+                "{}/{}: crash never fired",
+                c.app,
+                c.driver
+            );
+        }
+        // At least one driver side pays visible recovery.
+        assert!(cells.iter().any(|c| c.recovery_bytes > 0));
+        assert!(cells.iter().any(|c| c.recovery_s > 0.0));
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let ctx = ExperimentCtx { scale: 0.01 };
+        let a = chaos_csv(&campaign(&ctx, &["rack-degrade"]).unwrap());
+        let b = chaos_csv(&campaign(&ctx, &["rack-degrade"]).unwrap());
+        assert_eq!(a, b);
+    }
+}

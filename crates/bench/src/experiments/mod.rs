@@ -7,6 +7,7 @@
 //! with the paper's expected shape. EXPERIMENTS.md records the outcomes.
 
 pub mod ablation;
+pub mod chaos;
 pub mod common;
 pub mod fig2;
 pub mod report;

@@ -171,7 +171,7 @@ impl AppRun {
             .iter()
             .filter(|i| i.cat == "quality")
             .filter_map(|i| i.arg_f64("objective"))
-            .last();
+            .next_back();
         let reported = curve.last().map(|p| p.err);
         match (traced, reported) {
             (Some(a), Some(b)) if a == b => Ok(()),
@@ -241,8 +241,14 @@ pub fn collect(ctx: &ExperimentCtx, apps: &[&str]) -> Result<Vec<AppRun>, String
 
 /// Assemble the top-level `BENCH_pic.json` document. Every `host_*` key
 /// sits on its own line so determinism checks can strip them; everything
-/// else is a pure function of the simulated runs.
-pub fn bench_json(ctx: &ExperimentCtx, runs: &[AppRun]) -> String {
+/// else is a pure function of the simulated runs. `chaos` is the
+/// quality-under-failure campaign matrix (may be empty when the caller
+/// skips the campaign).
+pub fn bench_json(
+    ctx: &ExperimentCtx,
+    runs: &[AppRun],
+    chaos: &[super::chaos::ChaosCell],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"schema_version\": {REPORT_SCHEMA_VERSION},\n"));
@@ -302,6 +308,9 @@ pub fn bench_json(ctx: &ExperimentCtx, runs: &[AppRun]) -> String {
             "    }\n"
         });
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"quality_under_failure\": [\n");
+    out.push_str(&super::chaos::cells_json(chaos, 4));
     out.push_str("  ]\n");
     out.push_str("}\n");
     out
@@ -352,7 +361,7 @@ mod tests {
         assert!(runs[0].validate().is_empty());
         assert!(runs[0].speedup_x() > 1.0);
 
-        let doc = bench_json(&ctx, &runs);
+        let doc = bench_json(&ctx, &runs, &[]);
         let parsed = json::parse(&doc).unwrap();
         assert_eq!(
             parsed.get("schema_version").unwrap().as_f64(),
@@ -384,7 +393,7 @@ mod tests {
     #[test]
     fn bench_json_host_lines_are_isolated() {
         let ctx = ExperimentCtx { scale: 0.01 };
-        let doc = bench_json(&ctx, &linsolve_runs());
+        let doc = bench_json(&ctx, &linsolve_runs(), &[]);
         let host_lines: Vec<&str> = doc.lines().filter(|l| l.contains("host_")).collect();
         assert_eq!(host_lines.len(), 1, "one host key per app run");
         assert!(host_lines[0].trim_start().starts_with("\"host_elapsed_s\""));
@@ -408,7 +417,7 @@ mod tests {
     #[test]
     fn quality_drift_beyond_tolerance_is_a_regression() {
         let ctx = ExperimentCtx { scale: 0.01 };
-        let doc = bench_json(&ctx, &linsolve_runs());
+        let doc = bench_json(&ctx, &linsolve_runs(), &[]);
         let baseline = json::parse(&doc).unwrap();
         assert!(json::diff(&baseline, &baseline, 1e-6).is_empty());
 
@@ -445,7 +454,7 @@ mod tests {
     #[test]
     fn utilization_drift_is_a_regression() {
         let ctx = ExperimentCtx { scale: 0.01 };
-        let doc = bench_json(&ctx, &linsolve_runs());
+        let doc = bench_json(&ctx, &linsolve_runs(), &[]);
         let baseline = json::parse(&doc).unwrap();
 
         let key = r#""peak_util": "#;
@@ -468,6 +477,63 @@ mod tests {
         assert!(
             diffs.iter().any(|d| d.contains("total_bytes")),
             "drifted total_bytes not flagged: {diffs:?}"
+        );
+    }
+
+    /// The gate must also catch recovery drift in the quality-under-
+    /// failure section — under its own, 100x-wider band: a drift inside
+    /// the wide band passes, a drift beyond it is flagged, and the
+    /// recovery byte count is exact-gated.
+    #[test]
+    fn recovery_drift_beyond_band_is_a_regression() {
+        let ctx = ExperimentCtx { scale: 0.01 };
+        let cell = crate::experiments::chaos::ChaosCell {
+            app: "linsolve",
+            scenario: "node-crash",
+            driver: "ic",
+            clean_s: 100.0,
+            faulty_s: 120.0,
+            recovery_s: 20.0,
+            recovery_bytes: 4096,
+            injected_events: 1,
+            tt_quality_delta_s: 5.0,
+            exact_result: true,
+        };
+        let doc = bench_json(&ctx, &linsolve_runs(), &[cell]);
+        let baseline = json::parse(&doc).unwrap();
+        assert!(json::diff(&baseline, &baseline, 1e-6).is_empty());
+
+        let key = r#""recovery_s": "#;
+        let start = doc.find(key).expect("recovery_s in json") + key.len();
+        let end = start + doc[start..].find(',').unwrap();
+        let v: f64 = doc[start..end].trim().parse().unwrap();
+
+        // Inside the 100x band (rel 1e-5 at eps 1e-6): not a regression.
+        let mild = format!("{}{}{}", &doc[..start], v + 1e-4, &doc[end..]);
+        let diffs = json::diff(&baseline, &json::parse(&mild).unwrap(), 1e-6);
+        assert!(
+            !diffs.iter().any(|d| d.contains("recovery_s")),
+            "mild recovery drift must stay inside the wide band: {diffs:?}"
+        );
+
+        // Beyond the wide band: flagged.
+        let wild = format!("{}{}{}", &doc[..start], v + 10.0, &doc[end..]);
+        let diffs = json::diff(&baseline, &json::parse(&wild).unwrap(), 1e-6);
+        assert!(
+            diffs.iter().any(|d| d.contains("recovery_s")),
+            "drifted recovery_s not flagged: {diffs:?}"
+        );
+
+        // Recovery bytes are exact-gated.
+        let key = r#""recovery_bytes": "#;
+        let start = doc.find(key).expect("recovery_bytes in json") + key.len();
+        let end = start + doc[start..].find(',').unwrap();
+        let n: u64 = doc[start..end].trim().parse().unwrap();
+        let drifted = format!("{}{}{}", &doc[..start], n + 1, &doc[end..]);
+        let diffs = json::diff(&baseline, &json::parse(&drifted).unwrap(), 1e-6);
+        assert!(
+            diffs.iter().any(|d| d.contains("recovery_bytes")),
+            "drifted recovery_bytes not flagged: {diffs:?}"
         );
     }
 

@@ -224,7 +224,8 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 ///
 /// * keys starting `host_` — skipped (wall-clock, legitimately varies);
 /// * numbers under keys ending `_s`, `_x`, `_err` (or `err`), or
-///   `_util` — relative epsilon;
+///   `_util` — relative epsilon (`recovery_s` / `tt_quality_delta_s`
+///   get a 100x-wider band, see [`band_multiplier`]);
 /// * every other number — exact (raw literal, then parsed value);
 /// * strings / bools / nulls / structure — exact; missing or extra keys
 ///   and length mismatches are regressions.
@@ -247,6 +248,18 @@ fn is_toleranced(key: &str) -> bool {
         || key.ends_with("_err")
         || key == "err"
         || key.ends_with("_util")
+}
+
+/// Extra multiplier on the relative epsilon for a toleranced key.
+/// Recovery cost and the time-to-quality penalty are *differences* of
+/// two run durations, so legitimate timing jitter that cancels out of
+/// either total is amplified in them; DESIGN.md §12 gives these keys a
+/// 100x-wider band. Everything else keeps the base epsilon.
+fn band_multiplier(key: &str) -> f64 {
+    match key {
+        "recovery_s" | "tt_quality_delta_s" => 100.0,
+        _ => 1.0,
+    }
 }
 
 fn walk(path: &str, key: &str, a: &Json, b: &Json, eps: f64, out: &mut Vec<String>) {
@@ -283,12 +296,13 @@ fn walk(path: &str, key: &str, a: &Json, b: &Json, eps: f64, out: &mut Vec<Strin
         }
         (Json::Num(av, araw), Json::Num(bv, braw)) => {
             if is_toleranced(key) {
-                let tol = eps * av.abs().max(bv.abs()).max(1.0);
+                let band = eps * band_multiplier(key);
+                let tol = band * av.abs().max(bv.abs()).max(1.0);
                 if (av - bv).abs() > tol {
                     let mut line = String::new();
                     let _ = write!(
                         line,
-                        "{path}: {av} -> {bv} (|Δ| = {:e} beyond relative epsilon {eps:e})",
+                        "{path}: {av} -> {bv} (|Δ| = {:e} beyond relative epsilon {band:e})",
                         (av - bv).abs()
                     );
                     out.push(line);
@@ -400,6 +414,30 @@ mod tests {
         let e1 = obj(r#"{"stderr": 1.0}"#);
         let e2 = obj(r#"{"stderr": 1.0000000000001}"#);
         assert_eq!(diff(&e1, &e2, 1e-9).len(), 1, "plain 'stderr' is exact");
+    }
+
+    #[test]
+    fn recovery_keys_get_the_wider_band() {
+        // recovery_s sits in a 100x-wider band: a drift that would flag
+        // an ordinary `_s` key passes, and a drift past the wide band
+        // still fails.
+        let a = obj(r#"{"recovery_s": 100.0, "tt_quality_delta_s": 10.0}"#);
+        let mild = obj(r#"{"recovery_s": 100.000005, "tt_quality_delta_s": 10.0000005}"#);
+        assert!(diff(&a, &mild, 1e-9).is_empty(), "inside the 100x band");
+        let plain = obj(r#"{"time_s": 100.0}"#);
+        let plain_mild = obj(r#"{"time_s": 100.000005}"#);
+        assert_eq!(
+            diff(&plain, &plain_mild, 1e-9).len(),
+            1,
+            "same drift on an ordinary _s key is flagged"
+        );
+        let wild = obj(r#"{"recovery_s": 100.1, "tt_quality_delta_s": 10.0}"#);
+        let d = diff(&a, &wild, 1e-9);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].contains("$.recovery_s") && d[0].contains("epsilon"),
+            "{d:?}"
+        );
     }
 
     /// The Chrome trace export (spans, instants, counter tracks,

@@ -20,6 +20,7 @@ use pic_mapreduce::{Dataset, Engine, Timing};
 use pic_simnet::topology::NodeId;
 use pic_simnet::trace::Payload;
 use pic_simnet::traffic::TrafficClass;
+use pic_simnet::transfer;
 
 /// Options for an IC run.
 #[derive(Debug, Clone)]
@@ -80,6 +81,7 @@ pub fn run_ic<A: IterativeApp + QualityProbe>(
     // ordering is checkable), with the engine's transfer/job spans
     // nesting inside.
     let tracer = engine.tracer().clone();
+    let chaos = engine.chaos();
     let root_span = tracer.begin(format!("{}:{}", opts.phase, app.name()), "driver");
 
     if opts.charge_startup {
@@ -167,6 +169,34 @@ pub fn run_ic<A: IterativeApp + QualityProbe>(
             break;
         }
         scope = scope.next_iteration();
+
+        // Elastic resize between iterations: the group shrinks or grows to
+        // the new node count and the current model ships to the adjusted
+        // group as recovery traffic (the data itself stays in the DFS, so
+        // joining nodes read it through the normal remote-read path).
+        if let Some((_, new_nodes)) = chaos.resize_after(iterations) {
+            let n = new_nodes.clamp(1, spec.nodes - scope.group.start);
+            scope.group = scope.group.start..scope.group.start + n;
+            if opts.reducers == 0 {
+                scope.reducers = scope.group.len();
+            }
+            let t_rb = engine.now();
+            let (secs, net) = transfer::broadcast(spec, scope.group.len(), model.byte_size());
+            engine
+                .ledger()
+                .add_over(TrafficClass::Recovery, net, t_rb, t_rb + secs);
+            tracer.span_at(
+                "rebalance",
+                "transfer",
+                t_rb,
+                t_rb + secs,
+                vec![
+                    ("bytes".into(), Payload::U64(net)),
+                    ("nodes".into(), Payload::U64(scope.group.len() as u64)),
+                ],
+            );
+            engine.advance(secs);
+        }
     }
 
     tracer.end(root_span);

@@ -26,7 +26,7 @@ use crate::quality::QualityProbe;
 use crate::report::{PicReport, TrajectoryPoint};
 use pic_mapreduce::kv::ByteSize;
 use pic_mapreduce::{Dataset, Engine, Timing};
-use pic_simnet::scheduler::{SlotScheduler, TaskSpec};
+use pic_simnet::scheduler::{SchedulerOptions, SlotScheduler, TaskSpec};
 use pic_simnet::trace::Payload;
 use pic_simnet::traffic::TrafficClass;
 use pic_simnet::transfer;
@@ -101,6 +101,23 @@ impl Default for PicOptions {
     }
 }
 
+/// [`pic_simnet::topology::ClusterSpec::node_group`] generalized to an
+/// elastic active-node count: split `nodes` front-loaded into `groups`
+/// contiguous ranges; degenerate (more groups than nodes) groups share
+/// nodes round-robin.
+fn subgroup(nodes: usize, g: usize, groups: usize) -> std::ops::Range<usize> {
+    let base = nodes / groups;
+    let rem = nodes % groups;
+    let len = base + usize::from(g < rem);
+    if len == 0 {
+        let n = g % nodes;
+        n..n + 1
+    } else {
+        let start = g * base + g.min(rem);
+        start..start + len
+    }
+}
+
 /// Run the two-phase PIC computation of `app` over `data` from `init`.
 pub fn run_pic<A: PicApp + QualityProbe>(
     engine: &Engine,
@@ -110,7 +127,9 @@ pub fn run_pic<A: PicApp + QualityProbe>(
     opts: &PicOptions,
 ) -> PicReport<A::Model> {
     let spec = engine.spec();
-    let parts = opts.partitions;
+    let chaos = engine.chaos();
+    let mut parts = opts.partitions;
+    let mut active_nodes = spec.nodes;
     assert!(parts > 0, "need at least one partition");
 
     // Root span for the whole two-phase run; the best-effort rounds and the
@@ -123,7 +142,7 @@ pub fn run_pic<A: PicApp + QualityProbe>(
     let be_traffic0 = engine.traffic();
 
     // ---- Partition the data (paper `partition`, data side). ------------
-    let parts_records = app.partition_data(data, parts);
+    let mut parts_records = app.partition_data(data, parts);
     assert_eq!(
         parts_records.len(),
         parts,
@@ -168,7 +187,7 @@ pub fn run_pic<A: PicApp + QualityProbe>(
             vec![("bytes".into(), Payload::U64(data.total_bytes))],
         );
     }
-    let groups: Vec<std::ops::Range<usize>> =
+    let mut groups: Vec<std::ops::Range<usize>> =
         (0..parts).map(|p| spec.node_group(p, parts)).collect();
 
     // ---- Best-effort iterations. ----------------------------------------
@@ -201,10 +220,12 @@ pub fn run_pic<A: PicApp + QualityProbe>(
             "split_model must return `parts` models"
         );
         let t_bcast = engine.now();
+        let degrade = chaos.degradation_factor(t_bcast);
         let mut bcast_s: f64 = 0.0;
         let mut bcast_bytes: u64 = 0;
         for (g, sm) in groups.iter().zip(&sub_models) {
-            let (s, net) = transfer::broadcast(spec, g.len(), sm.byte_size());
+            let (raw_s, net) = transfer::broadcast(spec, g.len(), sm.byte_size());
+            let s = raw_s * degrade;
             engine
                 .ledger()
                 .add_over(TrafficClass::Broadcast, net, t_bcast, t_bcast + s);
@@ -260,8 +281,25 @@ pub fn run_pic<A: PicApp + QualityProbe>(
                 }
             })
             .collect();
-        let outcome =
-            SlotScheduler::new(spec).schedule(&tasks, spec.map_slots_per_node(), 0..spec.nodes);
+        let sched = SlotScheduler::new(spec);
+        let t_solve = engine.now();
+        let mut outcome = sched.schedule(&tasks, spec.map_slots_per_node(), 0..active_nodes);
+        // Chaos: nodes dying inside this round's window kill their running
+        // solve attempts; surviving slots re-execute them (identical host
+        // results — the replay only pays the time and recovery traffic).
+        let t_peek_end = t_solve + outcome.makespan_s;
+        let failures = chaos.peek_failures(t_solve, t_peek_end);
+        if !failures.is_empty() {
+            outcome = sched.schedule_with(
+                &tasks,
+                spec.map_slots_per_node(),
+                0..active_nodes,
+                &SchedulerOptions {
+                    node_failures: failures.relative,
+                    ..Default::default()
+                },
+            );
+        }
 
         // Quorum wait: advance only to the ⌈q·parts⌉-th completion;
         // sub-problems still running then are stragglers whose round is
@@ -274,9 +312,27 @@ pub fn run_pic<A: PicApp + QualityProbe>(
         let mut finish_sorted = outcome.finish_times.clone();
         finish_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
         let quorum_time = finish_sorted[quorum - 1];
+        // Commit any crashes now that the round's extent is final: fire
+        // their instants (clamped into this round), re-replicate the dead
+        // nodes' blocks and charge each killed attempt's lost sub-model
+        // broadcast to the recovery class.
+        let fresh = chaos.commit_failures(t_peek_end, t_solve, t_solve + quorum_time);
+        if !fresh.is_empty() {
+            let dead: Vec<usize> = fresh.iter().map(|&(n, _)| n).collect();
+            for &(node, at_s) in &fresh {
+                engine.dfs().rereplicate_after_crash(node, at_s, &dead);
+            }
+            for l in outcome.launches.iter().filter(|l| l.killed) {
+                engine.ledger().add_over(
+                    TrafficClass::Recovery,
+                    sub_models[l.task].byte_size(),
+                    t_solve,
+                    t_solve + quorum_time,
+                );
+            }
+        }
         // Replay the solve tasks as per-slot spans, clamped to the quorum
         // wait so straggler spans do not escape this round.
-        let t_solve = engine.now();
         outcome.emit_task_spans(&tracer, t_solve, "solve", quorum_time);
         engine.advance(quorum_time);
 
@@ -340,6 +396,42 @@ pub fn run_pic<A: PicApp + QualityProbe>(
         model = merged;
         if done {
             break;
+        }
+
+        // Elastic resize between best-effort iterations: adopt the new
+        // partition count and active-node range, re-derive the logical
+        // data partitions, and pay a full repartition pass — the one
+        // chaos event that legitimately changes results (different
+        // sub-problem boundaries), which is why the scenario matrix holds
+        // it to a tolerance instead of exact equality.
+        if let Some((new_parts, new_nodes)) = chaos.resize_after(be_iterations) {
+            parts = new_parts;
+            active_nodes = new_nodes.min(spec.nodes).max(1);
+            parts_records = app.partition_data(data, parts);
+            assert_eq!(parts_records.len(), parts, "partition_data on resize");
+            groups = (0..parts)
+                .map(|p| subgroup(active_nodes, p, parts))
+                .collect();
+            let t_rb = engine.now();
+            let cost = transfer::shuffle(spec, &(0..active_nodes), data.total_bytes);
+            engine.ledger().add_over(
+                TrafficClass::Recovery,
+                data.total_bytes,
+                t_rb,
+                t_rb + cost.seconds,
+            );
+            tracer.span_at(
+                "rebalance",
+                "transfer",
+                t_rb,
+                t_rb + cost.seconds,
+                vec![
+                    ("bytes".into(), Payload::U64(data.total_bytes)),
+                    ("partitions".into(), Payload::U64(parts as u64)),
+                    ("nodes".into(), Payload::U64(active_nodes as u64)),
+                ],
+            );
+            engine.advance(cost.seconds);
         }
     }
 

@@ -4,6 +4,7 @@ use crate::placement::BlockPlacement;
 use crate::split::{even_ranges, InputSplit};
 use crate::DEFAULT_BLOCK_SIZE;
 use parking_lot::RwLock;
+use pic_simnet::chaos::ChaosInjector;
 use pic_simnet::topology::{ClusterSpec, NodeId};
 use pic_simnet::trace::{Payload, Tracer};
 use pic_simnet::traffic::{TrafficClass, TrafficLedger};
@@ -50,6 +51,7 @@ pub struct Dfs {
     placement: BlockPlacement,
     files: Arc<RwLock<HashMap<String, FileMeta>>>,
     tracer: Tracer,
+    chaos: ChaosInjector,
 }
 
 impl Dfs {
@@ -77,6 +79,7 @@ impl Dfs {
             placement: BlockPlacement::new(seed),
             files: Arc::new(RwLock::new(HashMap::new())),
             tracer: Tracer::disabled(),
+            chaos: ChaosInjector::idle(),
         }
     }
 
@@ -85,6 +88,15 @@ impl Dfs {
     /// keyed to simulated time.
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// The same DFS consulting `chaos` for link-degradation windows
+    /// (writes and remote reads started inside a window take its factor
+    /// longer). The handle is shared, so a plan armed later is seen here
+    /// too.
+    pub fn with_chaos(mut self, chaos: ChaosInjector) -> Self {
+        self.chaos = chaos;
         self
     }
 
@@ -126,8 +138,9 @@ impl Dfs {
         // *full* replicated volume, matching how Hadoop counters report
         // "bytes written".
         let copies = self.spec.replication.min(self.spec.nodes) as u64;
-        let (secs, _net) = transfer::dfs_write(&self.spec, bytes);
+        let (mut secs, _net) = transfer::dfs_write(&self.spec, bytes);
         let t0 = self.tracer.now();
+        secs *= self.chaos.degradation_factor(t0);
         self.ledger.add_over(class, bytes * copies, t0, t0 + secs);
         self.tracer.instant(
             "write",
@@ -174,10 +187,11 @@ impl Dfs {
                 secs += transfer::local_disk_s(&self.spec, blk);
             } else {
                 let src = replicas.first().copied().unwrap_or(reader);
-                let blk_s = transfer::point_to_point_s(&self.spec, src, reader, blk);
                 // Blocks stream back to back, so block `i`'s transfer
                 // occupies the window right after its predecessors'.
                 let t0 = self.tracer.now() + secs;
+                let blk_s = transfer::point_to_point_s(&self.spec, src, reader, blk)
+                    * self.chaos.degradation_factor(t0);
                 self.ledger
                     .add_over(TrafficClass::DfsRead, blk, t0, t0 + blk_s);
                 secs += blk_s;
@@ -232,6 +246,60 @@ impl Dfs {
                 InputSplit { offset, len, hosts }
             })
             .collect())
+    }
+
+    /// React to `node` crashing at simulated time `at_s`: every block
+    /// replica it held is re-replicated onto the lowest-numbered live
+    /// node not already holding the block (HDFS re-replication). The
+    /// copied bytes are charged to [`TrafficClass::Recovery`] over a
+    /// pipeline window starting at `at_s`; like the real thing this runs
+    /// in the background, so no simulated time is returned for the
+    /// caller to block on. Returns the bytes re-replicated. `dead` lists
+    /// every node dead at `at_s` (including `node`) so replacements are
+    /// not placed on other casualties.
+    pub fn rereplicate_after_crash(&self, node: NodeId, at_s: f64, dead: &[NodeId]) -> u64 {
+        let mut moved = 0u64;
+        let mut files = self.files.write();
+        for meta in files.values_mut() {
+            let mut remaining = meta.size;
+            for replicas in &mut meta.blocks {
+                let blk = remaining.min(self.block_size);
+                remaining -= blk;
+                let Some(pos) = replicas.iter().position(|&r| r == node) else {
+                    continue;
+                };
+                let replacement =
+                    (0..self.spec.nodes).find(|n| !dead.contains(n) && !replicas.contains(n));
+                match replacement {
+                    Some(n) => replicas[pos] = n,
+                    None => {
+                        replicas.swap_remove(pos);
+                        continue; // no live node to copy to: replica lost
+                    }
+                }
+                moved += blk;
+            }
+        }
+        drop(files);
+        if moved > 0 {
+            let secs = transfer::dfs_write(&self.spec, moved).0;
+            self.ledger
+                .add_over(TrafficClass::Recovery, moved, at_s, at_s + secs);
+        }
+        // Stamped at the crash time, not the emission clock: the engine
+        // assembles jobs with the clock parked at the job start, and this
+        // fires while a later phase span is open.
+        self.tracer.instant_at(
+            "re-replicate",
+            "dfs",
+            at_s,
+            vec![
+                ("node".to_string(), Payload::U64(node as u64)),
+                ("bytes".to_string(), Payload::U64(moved)),
+                ("at_s".to_string(), Payload::F64(at_s)),
+            ],
+        );
+        moved
     }
 
     /// Full metadata for `path` (used by tests and reports).
@@ -366,6 +434,64 @@ mod tests {
         let meta = dfs.stat("/empty").unwrap();
         assert_eq!(meta.blocks.len(), 1);
         assert_eq!(dfs.read("/empty", 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rereplication_restores_copies_and_charges_recovery() {
+        let (dfs, l) = mk(ClusterSpec::small()); // replication 3
+        dfs.create("/f", 1000, 0, TrafficClass::DfsWrite).unwrap();
+        let before = dfs.stat("/f").unwrap();
+        let victim = before.blocks[0][0];
+        let moved = dfs.rereplicate_after_crash(victim, 5.0, &[victim]);
+        assert_eq!(moved, 1000, "the lost replica is copied in full");
+        assert_eq!(l.get(TrafficClass::Recovery), 1000);
+        let after = dfs.stat("/f").unwrap();
+        assert_eq!(after.blocks[0].len(), 3, "replication restored");
+        assert!(!after.blocks[0].contains(&victim));
+    }
+
+    #[test]
+    fn rereplication_skips_nodes_without_replicas() {
+        let (dfs, l) = mk(ClusterSpec::small());
+        dfs.create("/f", 1000, 0, TrafficClass::DfsWrite).unwrap();
+        let holders = dfs.stat("/f").unwrap().blocks[0].clone();
+        let outsider = (0..6).find(|n| !holders.contains(n)).unwrap();
+        assert_eq!(dfs.rereplicate_after_crash(outsider, 1.0, &[outsider]), 0);
+        assert_eq!(l.get(TrafficClass::Recovery), 0);
+    }
+
+    #[test]
+    fn degradation_stretches_writes_but_not_bytes() {
+        use pic_simnet::chaos::{ChaosInjector, FaultPlan};
+        use pic_simnet::trace::Tracer;
+
+        let spec = ClusterSpec::small();
+        let ledger = Arc::new(TrafficLedger::new());
+        let chaos = ChaosInjector::idle();
+        chaos
+            .arm(
+                &FaultPlan::new(0).degrade_links(4.0, 0.0, 1e9),
+                &spec,
+                Tracer::disabled(),
+            )
+            .unwrap();
+        let clean = mk(ClusterSpec::small()).0;
+        let slow = Dfs::new(Arc::new(spec), Arc::clone(&ledger)).with_chaos(chaos);
+        let s_clean = clean
+            .create("/f", 1_000_000, 0, TrafficClass::DfsWrite)
+            .unwrap();
+        let s_slow = slow
+            .create("/f", 1_000_000, 0, TrafficClass::DfsWrite)
+            .unwrap();
+        assert!(
+            (s_slow - s_clean * 4.0).abs() < 1e-9,
+            "{s_slow} vs {s_clean}"
+        );
+        assert_eq!(
+            ledger.get(TrafficClass::DfsWrite),
+            3_000_000,
+            "bytes unchanged"
+        );
     }
 
     #[test]

@@ -7,7 +7,8 @@ use crate::stats::{JobResult, JobStats};
 use crate::traits::{Combiner, DynCombiner, MapContext, Mapper, ReduceContext, Reducer};
 use parking_lot::Mutex;
 use pic_dfs::Dfs;
-use pic_simnet::scheduler::{Locality, SchedulerOptions, SlotScheduler, TaskSpec};
+use pic_simnet::chaos::{ChaosInjector, FaultPlan};
+use pic_simnet::scheduler::{Locality, ScheduleOutcome, SchedulerOptions, SlotScheduler, TaskSpec};
 use pic_simnet::topology::{ClusterSpec, NodeId};
 use pic_simnet::trace::{Payload, Trace, Tracer};
 use pic_simnet::traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};
@@ -26,6 +27,7 @@ pub struct Engine {
     dfs: Dfs,
     clock: Arc<Mutex<SimClock>>,
     tracer: Tracer,
+    chaos: ChaosInjector,
 }
 
 impl Engine {
@@ -40,13 +42,17 @@ impl Engine {
         let clock = Arc::new(Mutex::new(SimClock::new()));
         let tracer = Tracer::new(Arc::clone(&clock));
         let ledger = Arc::new(TrafficLedger::traced(tracer.clone()));
-        let dfs = Dfs::new(Arc::clone(&spec), Arc::clone(&ledger)).with_tracer(tracer.clone());
+        let chaos = ChaosInjector::idle();
+        let dfs = Dfs::new(Arc::clone(&spec), Arc::clone(&ledger))
+            .with_tracer(tracer.clone())
+            .with_chaos(chaos.clone());
         Engine {
             spec,
             ledger,
             dfs,
             clock,
             tracer,
+            chaos,
         }
     }
 
@@ -59,13 +65,15 @@ impl Engine {
         let spec = Arc::new(spec);
         let clock = Arc::new(Mutex::new(SimClock::new()));
         let ledger = Arc::new(TrafficLedger::new());
-        let dfs = Dfs::new(Arc::clone(&spec), Arc::clone(&ledger));
+        let chaos = ChaosInjector::idle();
+        let dfs = Dfs::new(Arc::clone(&spec), Arc::clone(&ledger)).with_chaos(chaos.clone());
         Engine {
             spec,
             ledger,
             dfs,
             clock,
             tracer: Tracer::disabled(),
+            chaos,
         }
     }
 
@@ -94,11 +102,27 @@ impl Engine {
         self.clock.lock().advance(dt);
     }
 
-    /// Reset clock, ledger and trace (between independent experiments).
+    /// Reset clock, ledger, trace and any armed fault plan (between
+    /// independent experiments).
     pub fn reset(&self) {
         self.clock.lock().reset();
         self.ledger.reset();
         self.tracer.clear();
+        self.chaos.disarm();
+    }
+
+    /// Arm a deterministic fault plan: every scheduled phase from now on
+    /// consults the injector for node crashes, link degradation and
+    /// elastic resizes. Returns the plan's validation errors unchanged.
+    /// Arm *after* [`Engine::reset`] — resetting disarms.
+    pub fn arm_chaos(&self, plan: &FaultPlan) -> Result<(), Vec<String>> {
+        self.chaos.arm(plan, &self.spec, self.tracer.clone())
+    }
+
+    /// The engine's fault injector (idle unless [`Engine::arm_chaos`] ran).
+    /// Clones share state, so drivers can hold their own handle.
+    pub fn chaos(&self) -> ChaosInjector {
+        self.chaos.clone()
     }
 
     /// The tracer recording this engine's simulated-time activity.
@@ -143,7 +167,8 @@ impl Engine {
     /// clock.
     pub fn broadcast_model(&self, bytes: u64, group: &std::ops::Range<NodeId>) {
         let t0 = self.now();
-        let (secs, net) = transfer::broadcast(&self.spec, group.len(), bytes);
+        let (raw_secs, net) = transfer::broadcast(&self.spec, group.len(), bytes);
+        let secs = raw_secs * self.chaos.degradation_factor(t0);
         self.ledger
             .add_over(TrafficClass::Broadcast, net, t0, t0 + secs);
         self.tracer.span_at(
@@ -172,7 +197,8 @@ impl Engine {
         // `bytes`, and degenerates to 0 s for models smaller than `m`).
         let slice = bytes.div_ceil(m);
         let servers_bw = self.spec.replication as f64 * self.spec.nic_bw;
-        let secs = (slice as f64 / self.spec.nic_bw).max(bytes as f64 / servers_bw);
+        let secs = (slice as f64 / self.spec.nic_bw).max(bytes as f64 / servers_bw)
+            * self.chaos.degradation_factor(t0);
         self.ledger
             .add_over(TrafficClass::Broadcast, bytes, t0, t0 + secs);
         self.tracer.span_at(
@@ -189,7 +215,8 @@ impl Engine {
     /// collection), charging [`TrafficClass::Merge`].
     pub fn gather_models(&self, m: usize, bytes_each: u64) {
         let t0 = self.now();
-        let (secs, net) = transfer::gather(&self.spec, m, bytes_each);
+        let (raw_secs, net) = transfer::gather(&self.spec, m, bytes_each);
+        let secs = raw_secs * self.chaos.degradation_factor(t0);
         self.ledger
             .add_over(TrafficClass::Merge, net, t0, t0 + secs);
         self.tracer.span_at(
@@ -207,7 +234,8 @@ impl Engine {
     /// sum — no rounding when sub-models differ in size.
     pub fn gather_models_sized(&self, sizes: &[u64]) {
         let t0 = self.now();
-        let (secs, net) = transfer::gather_sized(&self.spec, sizes);
+        let (raw_secs, net) = transfer::gather_sized(&self.spec, sizes);
+        let secs = raw_secs * self.chaos.degradation_factor(t0);
         self.ledger
             .add_over(TrafficClass::Merge, net, t0, t0 + secs);
         self.tracer.span_at(
@@ -334,14 +362,13 @@ impl Engine {
             .collect();
         let t_phase = t_job + overhead;
         let map_span = self.tracer.begin_at("map", "phase", t_phase);
-        let outcome = SlotScheduler::new(&self.spec).schedule_traced(
+        let outcome = self.schedule_phase(
             &map_tasks,
             self.spec.map_slots_per_node(),
             group,
-            &SchedulerOptions::default(),
-            &self.tracer,
             t_phase,
             "map",
+            &|t| map_tasks[t].input_bytes,
         );
         self.tracer.end_at(map_span, t_phase + outcome.makespan_s);
         self.tracer
@@ -369,6 +396,73 @@ impl Engine {
         self.advance(stats.total_time_s);
 
         JobResult { output, stats }
+    }
+
+    /// Schedule one phase's tasks at `t_phase` with chaos-aware crash
+    /// handling, then emit its task spans on `lane`-prefixed lanes.
+    ///
+    /// A clean schedule establishes the failure-peek window; when an armed
+    /// fault plan kills nodes inside it, the phase is rescheduled with
+    /// those deaths so surviving slots re-execute the lost attempts, the
+    /// crash instants are committed (clamped into the final phase window),
+    /// lost DFS replicas re-replicate in the background, and every killed
+    /// attempt charges `recovery_bytes(task)` to
+    /// [`TrafficClass::Recovery`] over the phase window. With no plan
+    /// armed this is exactly a default-options `schedule_traced` —
+    /// chaos never touches host computation, only simulated replay.
+    fn schedule_phase(
+        &self,
+        tasks: &[TaskSpec],
+        slots_per_node: usize,
+        group: std::ops::Range<NodeId>,
+        t_phase: f64,
+        lane: &str,
+        recovery_bytes: &dyn Fn(usize) -> u64,
+    ) -> ScheduleOutcome {
+        let sched = SlotScheduler::new(&self.spec);
+        let mut outcome = sched.schedule_with(
+            tasks,
+            slots_per_node,
+            group.clone(),
+            &SchedulerOptions::default(),
+        );
+        if self.chaos.is_armed() {
+            let t_peek_end = t_phase + outcome.makespan_s;
+            let failures = self.chaos.peek_failures(t_phase, t_peek_end);
+            if !failures.is_empty() {
+                outcome = sched.schedule_with(
+                    tasks,
+                    slots_per_node,
+                    group,
+                    &SchedulerOptions {
+                        node_failures: failures.relative,
+                        ..Default::default()
+                    },
+                );
+            }
+            let fresh =
+                self.chaos
+                    .commit_failures(t_peek_end, t_phase, t_phase + outcome.makespan_s);
+            if !fresh.is_empty() {
+                let dead: Vec<NodeId> = fresh.iter().map(|&(n, _)| n).collect();
+                for &(node, at_s) in &fresh {
+                    self.dfs.rereplicate_after_crash(node, at_s, &dead);
+                }
+                for l in outcome.launches.iter().filter(|l| l.killed) {
+                    let bytes = recovery_bytes(l.task);
+                    if bytes > 0 {
+                        self.ledger.add_over(
+                            TrafficClass::Recovery,
+                            bytes,
+                            t_phase,
+                            t_phase + outcome.makespan_s,
+                        );
+                    }
+                }
+            }
+        }
+        outcome.emit_task_spans(&self.tracer, t_phase, lane, outcome.makespan_s);
+        outcome
     }
 
     /// Emit one `counter` instant per merged job counter at the job's
@@ -516,16 +610,14 @@ impl Engine {
             })
             .collect();
 
-        let sched = SlotScheduler::new(&self.spec);
         let map_span = self.tracer.begin_at("map", "phase", t_phase);
-        let map_outcome = sched.schedule_traced(
+        let map_outcome = self.schedule_phase(
             &map_tasks,
             self.spec.map_slots_per_node(),
             group.clone(),
-            &SchedulerOptions::default(),
-            &self.tracer,
             t_phase,
             "map",
+            &|t| map_tasks[t].input_bytes,
         );
         // Injected failures re-execute blindly inside their (doubled)
         // task span; mark each with a `retry` instant at attempt start.
@@ -580,6 +672,11 @@ impl Engine {
         let shuffle_bytes: u64 = map_outs.iter().map(|mo| mo.shuffle_bytes).sum();
         stats.shuffle_bytes = shuffle_bytes;
         let shuffle_cost = transfer::shuffle(&self.spec, &group, shuffle_bytes);
+        // An active degradation window stretches the shuffle's wire time
+        // (same bytes, slower links) — the chaos model's rack/bisection
+        // brown-out.
+        let degrade = self.chaos.degradation_factor(t_phase);
+        let shuffle_secs = shuffle_cost.seconds * degrade;
         // Window each split over the interval its link is actually busy:
         // local and rack bytes stream for the whole modelled shuffle,
         // while the bisection share is done after its own serialization
@@ -591,22 +688,22 @@ impl Engine {
             TrafficClass::ShuffleLocal,
             shuffle_cost.local_bytes,
             t_phase,
-            t_phase + shuffle_cost.seconds,
+            t_phase + shuffle_secs,
         );
         self.ledger.add_over(
             TrafficClass::ShuffleRack,
             shuffle_cost.rack_bytes,
             t_phase,
-            t_phase + shuffle_cost.seconds,
+            t_phase + shuffle_secs,
         );
-        let bisection_s = shuffle_cost.bisection_bytes as f64 / self.spec.bisection_bw;
+        let bisection_s = shuffle_cost.bisection_bytes as f64 / self.spec.bisection_bw * degrade;
         self.ledger.add_over(
             TrafficClass::ShuffleBisection,
             shuffle_cost.bisection_bytes,
             t_phase,
-            t_phase + bisection_s.min(shuffle_cost.seconds),
+            t_phase + bisection_s.min(shuffle_secs),
         );
-        stats.shuffle_time_s = shuffle_cost.seconds;
+        stats.shuffle_time_s = shuffle_secs;
         // The shuffle runs concurrently with the map phase, so it gets
         // its own display lane rather than nesting inside the map span.
         self.tracer.span_at_in(
@@ -690,24 +787,43 @@ impl Engine {
 
         let reduce_tasks: Vec<TaskSpec> = red_outs
             .iter()
-            .map(|ro| {
-                let duration = match cfg.timing {
+            .enumerate()
+            .map(|(i, ro)| {
+                let mut duration = match cfg.timing {
                     Timing::Measured { scale } => ro.host_secs * scale,
                     Timing::PerRecord { reduce_secs, .. } => ro.values as f64 * reduce_secs,
                 };
+                if cfg.reduce_failures.contains(&i) {
+                    duration *= 2.0; // blind re-execution, same as the map side
+                    stats.retried_tasks += 1;
+                }
                 TaskSpec::compute(duration)
             })
             .collect();
         let reduce_span = self.tracer.begin_at("reduce", "phase", t_reduce);
-        let red_outcome = sched.schedule_traced(
+        // A killed reduce attempt re-fetches its shuffle partition from
+        // the surviving map outputs — that refetch is the recovery cost.
+        let reduce_recovery = stats.shuffle_bytes / cfg.reducers as u64;
+        let red_outcome = self.schedule_phase(
             &reduce_tasks,
             self.spec.reduce_slots_per_node(),
             group.clone(),
-            &SchedulerOptions::default(),
-            &self.tracer,
             t_reduce,
             "red",
+            &|_| reduce_recovery,
         );
+        if self.tracer.is_enabled() {
+            for l in &red_outcome.launches {
+                if cfg.reduce_failures.contains(&l.task) && !l.speculative {
+                    self.tracer.instant_at(
+                        "retry",
+                        "sched",
+                        t_reduce + l.start_s,
+                        vec![("task".to_string(), Payload::U64(l.task as u64))],
+                    );
+                }
+            }
+        }
         self.tracer
             .end_at(reduce_span, t_reduce + red_outcome.makespan_s);
         self.tracer
@@ -968,6 +1084,78 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_reduce_failure_retries_and_matches() {
+        let engine = word_count_engine();
+        let ds = Dataset::create(&engine, "/rf", (0..100u64).collect(), 4);
+        let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(*x % 5, 1));
+        let reducer = FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((*k, vs.iter().sum()))
+        });
+        let ok = engine.run(&analytic("ok").reducers(3), &ds, &mapper, &reducer);
+        let failed = engine.run(
+            &analytic("fail").reducers(3).fail_reduce_task(1),
+            &ds,
+            &mapper,
+            &reducer,
+        );
+        assert_eq!(failed.stats.retried_tasks, 1);
+        assert!(failed.stats.reduce_time_s > ok.stats.reduce_time_s);
+        assert_eq!(failed.stats.shuffle_bytes, ok.stats.shuffle_bytes);
+        // Re-execution is blind: identical output, identical order.
+        assert_eq!(failed.output, ok.output);
+    }
+
+    #[test]
+    fn armed_crash_preserves_results_and_charges_recovery() {
+        use pic_simnet::chaos::FaultPlan;
+        let slow = Timing::PerRecord {
+            map_secs: 1e-3,
+            reduce_secs: 1e-3,
+        };
+        let engine = word_count_engine();
+        let ds = Dataset::create(&engine, "/cc", (0..2000u64).collect(), 12);
+        let cfg = JobConfig::new("cc").timing(slow).reducers(4);
+        let clean = engine.run(&cfg, &ds, &mapper_mod(), &reducer_sum());
+        let t_clean = clean.stats.total_time_s;
+
+        engine.reset();
+        let plan = FaultPlan::new(7).node_crash(1, 0.05);
+        engine.arm_chaos(&plan).unwrap();
+        let faulty = engine.run(&cfg, &ds, &mapper_mod(), &reducer_sum());
+
+        // Chaos touches only the simulated replay: the answer is bit-equal.
+        assert_eq!(faulty.output, clean.output);
+        assert!(
+            faulty.stats.total_time_s > t_clean,
+            "re-execution must cost simulated time: {} vs {t_clean}",
+            faulty.stats.total_time_s
+        );
+        let t = engine.traffic();
+        assert!(
+            t.recovery_total() > 0,
+            "killed attempts and re-replication charge recovery bytes"
+        );
+        let trace = engine.trace();
+        assert!(trace
+            .instants
+            .iter()
+            .any(|i| i.cat == "chaos" && i.name == "node-crash"));
+        pic_simnet::trace::check::validate(&trace, &t).expect("faulty trace still validates");
+    }
+
+    fn mapper_mod() -> FnMapper<u64, u64, u64, impl Fn(&u64, &mut MapContext<u64, u64>)> {
+        FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(*x % 16, *x))
+    }
+
+    fn reducer_sum(
+    ) -> FnReducer<u64, u64, (u64, u64), impl Fn(&u64, &[u64], &mut ReduceContext<(u64, u64)>)>
+    {
+        FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((*k, vs.iter().sum()))
+        })
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub struct JobConfig {
     /// Indices of map tasks whose first attempt fails and is re-executed
     /// (fault-injection hook; each costs one extra execution).
     pub map_failures: Vec<usize>,
+    /// Indices of reduce tasks whose first attempt fails and is
+    /// re-executed, mirroring [`JobConfig::map_failures`] on the reduce
+    /// side: the attempt re-runs blindly, doubling that task's duration.
+    pub reduce_failures: Vec<usize>,
 }
 
 impl JobConfig {
@@ -72,6 +76,7 @@ impl JobConfig {
             charge_job_overhead: false,
             timing: Timing::default(),
             map_failures: Vec::new(),
+            reduce_failures: Vec::new(),
         }
     }
 
@@ -105,6 +110,12 @@ impl JobConfig {
         self.map_failures.push(idx);
         self
     }
+
+    /// Inject a one-shot failure into reduce task `idx`.
+    pub fn fail_reduce_task(mut self, idx: usize) -> Self {
+        self.reduce_failures.push(idx);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +129,7 @@ mod tests {
         assert!(c.node_group.is_none());
         assert!(!c.charge_job_overhead);
         assert!(c.map_failures.is_empty());
+        assert!(c.reduce_failures.is_empty());
     }
 
     #[test]
@@ -127,11 +139,13 @@ mod tests {
             .on_group(2..5)
             .with_job_overhead()
             .fail_map_task(1)
+            .fail_reduce_task(2)
             .timing(Timing::default_analytic());
         assert_eq!(c.reducers, 4);
         assert_eq!(c.node_group, Some(2..5));
         assert!(c.charge_job_overhead);
         assert_eq!(c.map_failures, vec![1]);
+        assert_eq!(c.reduce_failures, vec![2]);
         assert!(matches!(c.timing, Timing::PerRecord { .. }));
     }
 

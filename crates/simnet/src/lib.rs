@@ -23,6 +23,10 @@
 //! * [`SlotScheduler`] — a discrete-event simulator that places tasks with
 //!   measured durations onto the cluster's map/reduce slots in waves, with
 //!   data-locality preference, and reports the makespan.
+//! * [`chaos`] — deterministic, seeded fault injection ([`FaultPlan`] /
+//!   [`ChaosInjector`]): node crashes, rack/bisection degradation windows,
+//!   spot-preemption waves and elastic resize, each emitted as trace
+//!   instants so recovery cost is attributable per phase.
 //! * [`timeline`] — time-resolved utilization derived from a trace: link
 //!   and slot-pool series against [`ClusterSpec`] capacities, bisection
 //!   saturated-seconds, and compute↔comms overlap
@@ -35,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod clock;
 pub mod event;
 pub mod report;
@@ -45,6 +50,7 @@ pub mod trace;
 pub mod traffic;
 pub mod transfer;
 
+pub use chaos::{ChaosInjector, FaultEvent, FaultPlan};
 pub use clock::SimClock;
 pub use report::{
     CriticalPath, CriticalSegment, IterationRollup, PerfReport, QualityPoint, QualityReport,

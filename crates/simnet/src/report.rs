@@ -33,8 +33,9 @@ use std::fmt::Write as _;
 /// Version stamp for [`PerfReport::to_json`]; bump on any breaking field
 /// change (see DESIGN.md §9 for the policy). Version 2 added the per-app
 /// `quality` section (DESIGN.md §10); version 3 added the per-app
-/// `utilization` section (DESIGN.md §11).
-pub const REPORT_SCHEMA_VERSION: u64 = 3;
+/// `utilization` section (DESIGN.md §11); version 4 added the top-level
+/// `quality_under_failure` campaign matrix (DESIGN.md §12).
+pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// Span categories that mark one driver-level iteration; traffic is
 /// attributed to the nearest enclosing span with one of these cats.
@@ -1287,7 +1288,7 @@ mod tests {
         assert_eq!(a, b, "rendering twice must be identical");
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
-        assert!(a.contains("\"schema_version\": 3"));
+        assert!(a.contains("\"schema_version\": 4"));
         assert!(a.contains("\"total_s\": 10"));
         assert!(a.contains("\"phase/a\""));
         assert!(

@@ -26,6 +26,14 @@ pub struct SchedulerOptions {
     /// expected completion (if re-running could beat it); the earlier
     /// finisher wins. At most one backup per task.
     pub speculative: bool,
+    /// Node crashes injected into this round: `(node, seconds from the
+    /// round's start)`. A time `<= 0` means the node is dead before the
+    /// round begins (its slots never fire). A node that dies mid-round
+    /// kills its in-flight attempts at the death time; killed
+    /// non-redundant tasks are re-queued and re-executed on surviving
+    /// nodes, exactly like Hadoop restarting tasks of a lost
+    /// TaskTracker. Fed by `chaos::ChaosInjector::peek_failures`.
+    pub node_failures: Vec<(NodeId, f64)>,
 }
 
 impl SchedulerOptions {
@@ -35,6 +43,17 @@ impl SchedulerOptions {
             .find(|(n, _)| *n == node)
             .map(|(_, f)| *f)
             .unwrap_or(1.0)
+    }
+
+    /// When `node` dies in this round, if ever (earliest listed time).
+    fn death_of(&self, node: NodeId) -> Option<f64> {
+        self.node_failures
+            .iter()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, t)| *t)
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            })
     }
 }
 
@@ -90,6 +109,10 @@ pub struct TaskLaunch {
     pub finish_s: f64,
     /// True for a speculative backup attempt.
     pub speculative: bool,
+    /// True if this attempt was killed by its node dying mid-execution;
+    /// `finish_s` is then the death time, not a completion.
+    #[serde(default)]
+    pub killed: bool,
     /// Locality class of this attempt's placement.
     pub locality: Locality,
 }
@@ -115,8 +138,11 @@ pub struct ScheduleOutcome {
     /// Count of remote placements.
     pub remote: usize,
     /// Every task attempt in assignment order, including speculative
-    /// backups that lost the race.
+    /// backups that lost the race and attempts killed by node failures.
     pub launches: Vec<TaskLaunch>,
+    /// Attempts killed by injected node failures.
+    #[serde(default)]
+    pub killed_attempts: usize,
 }
 
 impl ScheduleOutcome {
@@ -125,7 +151,9 @@ impl ScheduleOutcome {
     /// round's simulated start) and clamped to `t0 + clamp_s` (phase end
     /// or quorum cut-off — a losing speculative copy or a dropped
     /// straggler must not outlive its phase span). Speculative attempts
-    /// additionally emit a `speculative-launch` sched instant.
+    /// additionally emit a `speculative-launch` sched instant; attempts
+    /// killed by a node failure emit a `task-killed` sched instant at
+    /// the kill time and are labelled ` (lost)`.
     pub fn emit_task_spans(&self, tracer: &Tracer, t0: f64, lane_prefix: &str, clamp_s: f64) {
         if !tracer.is_enabled() {
             return;
@@ -145,6 +173,19 @@ impl ScheduleOutcome {
                     vec![("task".to_string(), Payload::U64(l.task as u64))],
                 );
             }
+            if l.killed {
+                name.push_str(" (lost)");
+                tracer.instant_at_in(
+                    &lane,
+                    "task-killed",
+                    "sched",
+                    s1,
+                    vec![
+                        ("task".to_string(), Payload::U64(l.task as u64)),
+                        ("node".to_string(), Payload::U64(l.node as u64)),
+                    ],
+                );
+            }
             tracer.span_at_in(
                 &lane,
                 name,
@@ -162,6 +203,23 @@ impl ScheduleOutcome {
             );
         }
     }
+}
+
+/// What a slot event in the discrete-event loop signifies.
+#[derive(Debug, Clone, Copy)]
+enum SlotWake {
+    /// Initial arming, or an idle slot woken for a re-queued task.
+    Free,
+    /// The slot's in-flight attempt of `task` completed.
+    Finished {
+        /// Task index in the input slice.
+        task: usize,
+    },
+    /// The slot's node died mid-attempt, killing `task`'s attempt.
+    Killed {
+        /// Task index in the input slice.
+        task: usize,
+    },
 }
 
 /// The slot scheduler for a cluster (or a contiguous node group of it —
@@ -220,6 +278,14 @@ impl<'a> SlotScheduler<'a> {
         let mut expected_finish = vec![f64::INFINITY; n_tasks];
         let mut speculated = vec![false; n_tasks];
         let mut launches: Vec<TaskLaunch> = Vec::with_capacity(n_tasks);
+        // Node-failure bookkeeping: attempts currently in flight per
+        // task, which slots have gone idle (so a re-queued task can wake
+        // them), and when each slot is busy until (so a wake-up event
+        // arriving mid-attempt is ignored).
+        let mut running = vec![0usize; n_tasks];
+        let mut idle = vec![false; n_slots];
+        let mut busy_until = vec![0.0f64; n_slots];
+        let mut killed_attempts = 0usize;
 
         // Compute the launch cost of `task` on `node` and its locality.
         let launch = |task_idx: usize, node: NodeId, loc: Locality| -> f64 {
@@ -241,22 +307,59 @@ impl<'a> SlotScheduler<'a> {
             self.spec.task_overhead_s + fetch_s + t.duration_s * opts.speed_of(node)
         };
 
-        // Each slot frees as an event; the payload carries which task (if
-        // any) just finished on it. Slot s lives on node
-        // nodes.start + s / slots_per_node.
-        let mut q: EventQueue<(usize, Option<usize>)> = EventQueue::new();
+        // Each slot frees as an event; the payload carries what just
+        // happened on it. Slot s lives on node nodes.start + s / slots_per_node.
+        let mut q: EventQueue<(usize, SlotWake)> = EventQueue::new();
         for s in 0..n_slots {
-            q.push(0.0, (s, None));
+            q.push(0.0, (s, SlotWake::Free));
         }
 
-        while let Some((now, (slot, finishing))) = q.pop() {
-            if let Some(t) = finishing {
-                if !completed[t] {
-                    completed[t] = true;
-                    finish_times[t] = now;
+        while let Some((now, (slot, wake))) = q.pop() {
+            match wake {
+                SlotWake::Free => {
+                    // A wake-up that raced with a launch on this slot
+                    // (re-queued task waking an already-claimed slot).
+                    if busy_until[slot] > now + 1e-12 {
+                        continue;
+                    }
+                }
+                SlotWake::Finished { task } => {
+                    running[task] -= 1;
+                    if !completed[task] {
+                        completed[task] = true;
+                        finish_times[task] = now;
+                    }
+                }
+                SlotWake::Killed { task } => {
+                    // The node hosting this slot died at `now`, taking
+                    // the in-flight attempt with it. If no redundant
+                    // attempt survives, the task goes back in the queue
+                    // and idle surviving slots are woken to pick it up
+                    // — the slot itself retires with its node.
+                    running[task] -= 1;
+                    if !completed[task] && running[task] == 0 {
+                        expected_finish[task] = f64::INFINITY;
+                        speculated[task] = false;
+                        pending.push(task);
+                        for (s, slot_idle) in idle.iter_mut().enumerate() {
+                            if *slot_idle {
+                                let nd = nodes.start + s / slots_per_node;
+                                if opts.death_of(nd).is_none_or(|d| d > now + 1e-12) {
+                                    *slot_idle = false;
+                                    q.push(now, (s, SlotWake::Free));
+                                }
+                            }
+                        }
+                    }
+                    continue;
                 }
             }
             let node = nodes.start + slot / slots_per_node;
+            // A dead node's slots retire: they launch nothing further.
+            let death = opts.death_of(node);
+            if death.is_some_and(|d| d <= now + 1e-12) {
+                continue;
+            }
             if !pending.is_empty() {
                 // Pick the best pending task for this node: node-local
                 // first, then rack-local, then FIFO head.
@@ -265,48 +368,94 @@ impl<'a> SlotScheduler<'a> {
                 let finish = now + launch(task_idx, node, loc);
                 placements[task_idx] = node;
                 locality[task_idx] = loc;
-                expected_finish[task_idx] = finish;
                 per_slot_count[slot] += 1;
+                idle[slot] = false;
+                running[task_idx] += 1;
+                let killed = death.is_some_and(|d| d < finish);
+                let end = if killed {
+                    death.expect("checked")
+                } else {
+                    finish
+                };
+                if killed {
+                    killed_attempts += 1;
+                } else {
+                    expected_finish[task_idx] = finish;
+                }
+                busy_until[slot] = end;
                 launches.push(TaskLaunch {
                     task: task_idx,
                     slot,
                     node,
                     start_s: now,
-                    finish_s: finish,
+                    finish_s: end,
                     speculative: false,
+                    killed,
                     locality: loc,
                 });
-                q.push(finish, (slot, Some(task_idx)));
+                let wake = if killed {
+                    SlotWake::Killed { task: task_idx }
+                } else {
+                    SlotWake::Finished { task: task_idx }
+                };
+                q.push(end, (slot, wake));
             } else if opts.speculative {
                 // Back up the straggler with the latest expected finish if
                 // a fresh copy here could plausibly beat it.
                 let candidate = (0..n_tasks)
-                    .filter(|&t| !completed[t] && !speculated[t])
+                    .filter(|&t| !completed[t] && !speculated[t] && running[t] > 0)
                     .max_by(|&a, &b| {
                         expected_finish[a]
                             .partial_cmp(&expected_finish[b])
                             .expect("finish times are finite")
                     });
+                let mut launched = false;
                 if let Some(t) = candidate {
                     let loc = Self::locality_on(self.spec, tasks, t, node);
                     let dup_finish = now + launch(t, node, loc);
                     if dup_finish + self.spec.task_overhead_s < expected_finish[t] {
                         speculated[t] = true;
-                        expected_finish[t] = expected_finish[t].min(dup_finish);
                         per_slot_count[slot] += 1;
+                        running[t] += 1;
+                        let killed = death.is_some_and(|d| d < dup_finish);
+                        let end = if killed {
+                            killed_attempts += 1;
+                            death.expect("checked")
+                        } else {
+                            expected_finish[t] = expected_finish[t].min(dup_finish);
+                            dup_finish
+                        };
+                        busy_until[slot] = end;
                         launches.push(TaskLaunch {
                             task: t,
                             slot,
                             node,
                             start_s: now,
-                            finish_s: dup_finish,
+                            finish_s: end,
                             speculative: true,
+                            killed,
                             locality: loc,
                         });
-                        q.push(dup_finish, (slot, Some(t)));
+                        let wake = if killed {
+                            SlotWake::Killed { task: t }
+                        } else {
+                            SlotWake::Finished { task: t }
+                        };
+                        q.push(end, (slot, wake));
+                        launched = true;
                     }
                 }
+                idle[slot] = !launched;
+            } else {
+                idle[slot] = true;
             }
+        }
+
+        if let Some(t) = completed.iter().position(|&c| !c) {
+            panic!(
+                "task {t} could not be re-executed: every node in the \
+                 scheduling group died before it could run"
+            );
         }
 
         let makespan = finish_times.iter().copied().fold(0.0f64, f64::max);
@@ -331,6 +480,7 @@ impl<'a> SlotScheduler<'a> {
             rack_local,
             remote,
             launches,
+            killed_attempts,
         }
     }
 
@@ -544,6 +694,7 @@ mod tests {
         let opts = SchedulerOptions {
             node_speed: vec![(0, 10.0)],
             speculative: true,
+            ..Default::default()
         };
         let out = SlotScheduler::new(&spec).schedule_with(&tasks, 1, 0..6, &opts);
         let spec_launches: Vec<_> = out.launches.iter().filter(|l| l.speculative).collect();
@@ -579,6 +730,161 @@ mod tests {
             assert!(s.t0 >= 5.0 && s.t1 <= 5.0 + 2.0 + 1e-12, "clamped");
         }
         check::no_overlap_per_slot(&trace).unwrap();
+    }
+
+    #[test]
+    fn node_dead_from_start_never_runs_tasks() {
+        let spec = ClusterSpec::small();
+        let tasks: Vec<_> = (0..12).map(|_| TaskSpec::compute(5.0)).collect();
+        let opts = SchedulerOptions {
+            node_failures: vec![(2, 0.0)],
+            ..Default::default()
+        };
+        let out = SlotScheduler::new(&spec).schedule_with(&tasks, 2, 0..6, &opts);
+        assert_eq!(out.killed_attempts, 0, "nothing was in flight to kill");
+        assert!(out.placements.iter().all(|&n| n != 2));
+        assert!(out.launches.iter().all(|l| l.node != 2 && !l.killed));
+        assert_eq!(out.finish_times.len(), 12);
+        assert!(out.finish_times.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn mid_round_crash_kills_and_reexecutes() {
+        let spec = ClusterSpec::small(); // task_overhead 0.5
+        let tasks: Vec<_> = (0..6).map(|_| TaskSpec::compute(10.0)).collect();
+        // One slot per node: exactly one task in flight on node 3 when it
+        // dies at t = 4.
+        let opts = SchedulerOptions {
+            node_failures: vec![(3, 4.0)],
+            ..Default::default()
+        };
+        let out = SlotScheduler::new(&spec).schedule_with(&tasks, 1, 0..6, &opts);
+        assert_eq!(out.killed_attempts, 1);
+        let killed: Vec<_> = out.launches.iter().filter(|l| l.killed).collect();
+        assert_eq!(killed.len(), 1);
+        assert_eq!(killed[0].node, 3);
+        assert!(close(killed[0].finish_s, 4.0), "{}", killed[0].finish_s);
+        let victim = killed[0].task;
+        // The victim completes on a surviving node. Every live slot is
+        // busy until 10.5, so the re-execution starts then:
+        // 10.5 + 0.5 overhead + 10.0 compute = 21.
+        assert!(out.placements[victim] != 3);
+        assert!(
+            close(out.finish_times[victim], 21.0),
+            "{}",
+            out.finish_times[victim]
+        );
+        assert!(close(out.makespan_s, 21.0), "{}", out.makespan_s);
+        // 6 primary attempts + 1 re-execution.
+        assert_eq!(out.launches.len(), 7);
+    }
+
+    #[test]
+    fn crash_with_failures_matches_clean_when_nothing_dies_in_window() {
+        let spec = ClusterSpec::small();
+        let tasks: Vec<_> = (0..24)
+            .map(|i| TaskSpec::compute(1.0 + (i % 3) as f64))
+            .collect();
+        let clean = SlotScheduler::new(&spec).schedule(&tasks, 4, 0..6);
+        // A failure scheduled after the round ends changes nothing.
+        let opts = SchedulerOptions {
+            node_failures: vec![(1, clean.makespan_s + 100.0)],
+            ..Default::default()
+        };
+        let late = SlotScheduler::new(&spec).schedule_with(&tasks, 4, 0..6, &opts);
+        assert_eq!(clean.makespan_s, late.makespan_s);
+        assert_eq!(clean.finish_times, late.finish_times);
+        assert_eq!(late.killed_attempts, 0);
+    }
+
+    #[test]
+    fn speculative_backup_killed_does_not_lose_the_task() {
+        let mut spec = ClusterSpec::small();
+        spec.task_overhead_s = 0.0;
+        // Node 0 is slow, so its task gets backed up; the backup lands on
+        // an idle node that then dies, killing the backup. The slow
+        // primary must still deliver the result.
+        let tasks: Vec<_> = (0..6).map(|_| TaskSpec::compute(10.0)).collect();
+        let opts = SchedulerOptions {
+            node_speed: vec![(0, 10.0)],
+            speculative: true,
+            node_failures: vec![(1, 12.0), (2, 12.0), (3, 12.0), (4, 12.0), (5, 12.0)],
+        };
+        let out = SlotScheduler::new(&spec).schedule_with(&tasks, 1, 0..6, &opts);
+        assert!(out.killed_attempts >= 1, "the backup should be killed");
+        assert_eq!(out.finish_times.len(), 6);
+        assert!(out.finish_times.iter().all(|&t| t > 0.0));
+        // The straggler's own (slow) attempt wins in the end.
+        let slow_task = out
+            .launches
+            .iter()
+            .find(|l| l.node == 0 && !l.speculative)
+            .expect("node 0 ran something")
+            .task;
+        assert!(
+            close(out.finish_times[slow_task], 100.0),
+            "{}",
+            out.finish_times[slow_task]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "could not be re-executed")]
+    fn all_nodes_dead_panics() {
+        let spec = ClusterSpec::small();
+        let tasks = vec![TaskSpec::compute(10.0)];
+        let opts = SchedulerOptions {
+            node_failures: (0..6).map(|n| (n, 1.0)).collect(),
+            ..Default::default()
+        };
+        SlotScheduler::new(&spec).schedule_with(&tasks, 1, 0..6, &opts);
+    }
+
+    #[test]
+    fn killed_attempts_emit_lost_spans_and_instants() {
+        use crate::trace::{check, Tracer};
+
+        let spec = ClusterSpec::small();
+        let tasks: Vec<_> = (0..6).map(|_| TaskSpec::compute(10.0)).collect();
+        let opts = SchedulerOptions {
+            node_failures: vec![(3, 4.0)],
+            ..Default::default()
+        };
+        let out = SlotScheduler::new(&spec).schedule_with(&tasks, 1, 0..6, &opts);
+        let tracer = Tracer::standalone();
+        out.emit_task_spans(&tracer, 0.0, "map", out.makespan_s);
+        let trace = tracer.trace();
+        assert_eq!(check::sched_events(&trace, "task-killed"), 1);
+        assert_eq!(
+            trace
+                .spans
+                .iter()
+                .filter(|s| s.name.ends_with(" (lost)"))
+                .count(),
+            1
+        );
+        check::no_overlap_per_slot(&trace).unwrap();
+    }
+
+    #[test]
+    fn failures_are_deterministic_across_runs() {
+        let spec = ClusterSpec::medium();
+        let tasks: Vec<_> = (0..100)
+            .map(|i| TaskSpec {
+                duration_s: 1.0 + (i % 7) as f64 * 0.3,
+                preferred_nodes: vec![i % spec.nodes],
+                input_bytes: 1000 * i as u64,
+            })
+            .collect();
+        let opts = SchedulerOptions {
+            node_failures: vec![(3, 0.7), (11, 2.0)],
+            speculative: true,
+            ..Default::default()
+        };
+        let a = SlotScheduler::new(&spec).schedule_with(&tasks, 4, 0..spec.nodes, &opts);
+        let b = SlotScheduler::new(&spec).schedule_with(&tasks, 4, 0..spec.nodes, &opts);
+        assert_eq!(a, b);
+        assert!(a.killed_attempts >= 1);
     }
 
     #[test]

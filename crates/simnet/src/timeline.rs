@@ -79,14 +79,18 @@ impl LinkClass {
     }
 
     /// The link a traffic class consumes. Shuffle-local and map-spill
-    /// bytes hit node disks; broadcast / merge / DFS-read bytes enter or
-    /// leave single nodes (NIC-bound); rack shuffle bytes climb the rack
-    /// uplinks; bisection shuffle, model updates and replicated DFS
-    /// writes cross the core (replication pipelines span racks).
+    /// bytes hit node disks; broadcast / merge / DFS-read / recovery
+    /// bytes enter or leave single nodes (NIC-bound); rack shuffle bytes
+    /// climb the rack uplinks; bisection shuffle, model updates and
+    /// replicated DFS writes cross the core (replication pipelines span
+    /// racks).
     pub fn of(class: TrafficClass) -> LinkClass {
         match class {
             TrafficClass::ShuffleLocal | TrafficClass::MapSpill => LinkClass::Disk,
-            TrafficClass::Broadcast | TrafficClass::Merge | TrafficClass::DfsRead => LinkClass::Nic,
+            TrafficClass::Broadcast
+            | TrafficClass::Merge
+            | TrafficClass::DfsRead
+            | TrafficClass::Recovery => LinkClass::Nic,
             TrafficClass::ShuffleRack => LinkClass::RackUplink,
             TrafficClass::ShuffleBisection | TrafficClass::ModelUpdate | TrafficClass::DfsWrite => {
                 LinkClass::Bisection

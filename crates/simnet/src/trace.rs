@@ -404,13 +404,19 @@ impl Tracer {
     /// they actually moved in; byte reconciliation is untouched because
     /// [`Trace::traffic_totals`] only reads the `bytes` payload. Called by
     /// [`crate::traffic::TrafficLedger::add_over`].
+    /// The instant is stamped at `w0` — the moment the transfer starts —
+    /// not at the emission clock: the engine assembles whole jobs with
+    /// the clock parked at the job start, so a charge committed while a
+    /// later phase span is open (e.g. chaos recovery during the reduce
+    /// phase) would otherwise escape its parent's window.
     pub fn traffic_event_over(&self, class: TrafficClass, bytes: u64, w0: f64, w1: f64) {
         if self.inner.is_none() {
             return;
         }
-        self.instant(
+        self.instant_at(
             class.label(),
             "traffic",
+            w0,
             vec![
                 ("bytes".to_string(), Payload::U64(bytes)),
                 ("w0".to_string(), Payload::F64(w0)),
@@ -900,7 +906,9 @@ pub mod check {
     }
 
     /// Run the whole structural suite: nesting, slot non-overlap, exact
-    /// byte attribution against `ledger`, and quality-sample placement.
+    /// byte attribution against `ledger`, quality-sample placement, and
+    /// the chaos checks (crash clear of merge barriers, degradation
+    /// windows inside the run).
     pub fn validate(trace: &Trace, ledger: &TrafficSnapshot) -> Result<(), Vec<String>> {
         let mut errs = Vec::new();
         for r in [
@@ -908,6 +916,7 @@ pub mod check {
             no_overlap_per_slot(trace),
             bytes_attributed(trace, ledger),
             quality_samples(trace),
+            crate::chaos::check_chaos(trace),
         ] {
             if let Err(mut e) = r {
                 errs.append(&mut e);

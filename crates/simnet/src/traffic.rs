@@ -37,11 +37,16 @@ pub enum TrafficClass {
     /// output bytes" counter, which is what the paper's Table II calls
     /// "intermediate data (mapper output)".
     MapSpill,
+    /// Bytes moved only because a fault was injected: re-fetched inputs of
+    /// killed task attempts, re-broadcast sub-models after a node crash,
+    /// and the rebalance shuffle of an elastic resize. Kept separate so
+    /// recovery cost is attributable per phase.
+    Recovery,
 }
 
 impl TrafficClass {
     /// All classes, in display order.
-    pub const ALL: [TrafficClass; 9] = [
+    pub const ALL: [TrafficClass; 10] = [
         TrafficClass::ShuffleLocal,
         TrafficClass::ShuffleRack,
         TrafficClass::ShuffleBisection,
@@ -51,6 +56,7 @@ impl TrafficClass {
         TrafficClass::Merge,
         TrafficClass::Broadcast,
         TrafficClass::MapSpill,
+        TrafficClass::Recovery,
     ];
 
     fn index(self) -> usize {
@@ -64,6 +70,7 @@ impl TrafficClass {
             TrafficClass::Merge => 6,
             TrafficClass::Broadcast => 7,
             TrafficClass::MapSpill => 8,
+            TrafficClass::Recovery => 9,
         }
     }
 
@@ -85,6 +92,7 @@ impl TrafficClass {
             TrafficClass::Merge => "merge",
             TrafficClass::Broadcast => "broadcast",
             TrafficClass::MapSpill => "map-spill",
+            TrafficClass::Recovery => "recovery",
         }
     }
 }
@@ -92,7 +100,7 @@ impl TrafficClass {
 /// Thread-safe per-class byte counters.
 #[derive(Debug, Default)]
 pub struct TrafficLedger {
-    bytes: [AtomicU64; 9],
+    bytes: [AtomicU64; 10],
     tracer: crate::trace::Tracer,
 }
 
@@ -154,7 +162,7 @@ impl TrafficLedger {
 /// subtracted to get per-phase deltas.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrafficSnapshot {
-    bytes: [u64; 9],
+    bytes: [u64; 10],
 }
 
 impl TrafficSnapshot {
@@ -192,6 +200,12 @@ impl TrafficSnapshot {
             + self.get(TrafficClass::Merge)
             + self.get(TrafficClass::Broadcast)
             + self.get(TrafficClass::DfsWrite)
+            + self.get(TrafficClass::Recovery)
+    }
+
+    /// Bytes moved only because faults were injected.
+    pub fn recovery_total(&self) -> u64 {
+        self.get(TrafficClass::Recovery)
     }
 
     /// Element-wise difference `self - earlier`; saturates at zero so a

@@ -1,0 +1,131 @@
+//! Negative-path coverage for the chaos layer, alongside
+//! `check_negative.rs`: every rejection string a fault plan or a
+//! chaos-bearing trace can produce is violated on purpose and pinned, so
+//! a refactor of the validators cannot silently turn them into no-ops.
+
+use pic_simnet::chaos::{check_chaos, FaultPlan};
+use pic_simnet::trace::{check, Payload, Tracer};
+use pic_simnet::{ClusterSpec, TrafficSnapshot};
+
+/// One line of `errs` must contain every fragment, in any position.
+fn assert_violation(errs: &[String], fragments: &[&str]) {
+    assert!(
+        errs.iter().any(|e| fragments.iter().all(|f| e.contains(f))),
+        "no violation line contains all of {fragments:?}; got: {errs:#?}"
+    );
+}
+
+#[test]
+fn resize_to_zero_partitions_is_rejected() {
+    let spec = ClusterSpec::small();
+    let errs = FaultPlan::new(1)
+        .elastic_resize(1, 0, 4)
+        .validate(&spec)
+        .unwrap_err();
+    assert_violation(&errs, &["resize to zero partitions is not a cluster"]);
+
+    let errs = FaultPlan::new(1)
+        .elastic_resize(1, 4, 0)
+        .validate(&spec)
+        .unwrap_err();
+    assert_violation(&errs, &["resize to zero nodes is not a cluster"]);
+}
+
+#[test]
+fn plan_killing_every_node_is_rejected() {
+    let spec = ClusterSpec::small();
+    let mut plan = FaultPlan::new(2);
+    for n in 0..spec.nodes {
+        plan = plan.node_crash(n, 1.0 + n as f64);
+    }
+    let errs = plan.validate(&spec).unwrap_err();
+    assert_violation(&errs, &["fault plan kills every node"]);
+}
+
+#[test]
+fn malformed_degradation_window_is_rejected() {
+    let spec = ClusterSpec::small();
+    let errs = FaultPlan::new(3)
+        .degrade_links(2.0, 5.0, 5.0)
+        .validate(&spec)
+        .unwrap_err();
+    assert_violation(&errs, &["degradation window [5, 5] is malformed"]);
+
+    let errs = FaultPlan::new(3)
+        .degrade_links(0.5, 0.0, 1.0)
+        .validate(&spec)
+        .unwrap_err();
+    assert_violation(&errs, &["degradation factor 0.5 must be at least 1"]);
+}
+
+#[test]
+fn crash_during_merge_barrier_is_reported() {
+    let tracer = Tracer::standalone();
+    let root = tracer.begin_at("root", "driver", 0.0);
+    let merge = tracer.begin_at("merge-1", "merge", 2.0);
+    // A crash instant strictly inside the merge barrier: the injector
+    // only fires crashes into scheduling rounds, so this trace lies.
+    tracer.instant_at(
+        "node-crash",
+        "chaos",
+        3.0,
+        vec![("node".to_string(), Payload::U64(1))],
+    );
+    tracer.end_at(merge, 4.0);
+    tracer.end_at(root, 10.0);
+    let errs = check_chaos(&tracer.trace()).unwrap_err();
+    assert_violation(&errs, &["crash during merge barrier", "merge:merge-1"]);
+
+    // `check::validate` surfaces the same violation: the chaos checks
+    // are part of the standard structural suite.
+    let errs = check::validate(&tracer.trace(), &TrafficSnapshot::default()).unwrap_err();
+    assert_violation(&errs, &["crash during merge barrier"]);
+}
+
+#[test]
+fn degradation_window_outside_the_run_is_reported() {
+    let tracer = Tracer::standalone();
+    let root = tracer.begin_at("root", "driver", 0.0);
+    // Announced window [100, 200] while the run ends at t=10: the
+    // injector and the trace disagree about what executed.
+    tracer.instant_at(
+        "link-degraded",
+        "chaos",
+        5.0,
+        vec![
+            ("w0".to_string(), Payload::F64(100.0)),
+            ("w1".to_string(), Payload::F64(200.0)),
+            ("factor".to_string(), Payload::F64(4.0)),
+        ],
+    );
+    tracer.end_at(root, 10.0);
+    let errs = check_chaos(&tracer.trace()).unwrap_err();
+    assert_violation(&errs, &["degradation window [100, 200]", "outside the run"]);
+}
+
+#[test]
+fn intersecting_window_and_clean_trace_pass() {
+    let tracer = Tracer::standalone();
+    let root = tracer.begin_at("root", "driver", 0.0);
+    tracer.instant_at(
+        "link-degraded",
+        "chaos",
+        5.0,
+        vec![
+            ("w0".to_string(), Payload::F64(4.0)),
+            ("w1".to_string(), Payload::F64(20.0)),
+        ],
+    );
+    // A crash instant at a merge-span *edge* is fine: barriers begin and
+    // end on scheduling-round boundaries.
+    let merge = tracer.begin_at("merge-1", "merge", 6.0);
+    tracer.end_at(merge, 7.0);
+    tracer.instant_at(
+        "node-crash",
+        "chaos",
+        6.0,
+        vec![("node".to_string(), Payload::U64(0))],
+    );
+    tracer.end_at(root, 10.0);
+    assert!(check_chaos(&tracer.trace()).is_ok());
+}

@@ -88,7 +88,7 @@ proptest! {
         speculative in any::<bool>(),
     ) {
         let spec = ClusterSpec::small();
-        let opts = SchedulerOptions { node_speed: vec![(1, 3.0)], speculative };
+        let opts = SchedulerOptions { node_speed: vec![(1, 3.0)], speculative, ..Default::default() };
         let s = SlotScheduler::new(&spec);
         let a = s.schedule_with(&tasks, 2, 0..6, &opts);
         let b = s.schedule_with(&tasks, 2, 0..6, &opts);
@@ -107,10 +107,12 @@ proptest! {
         let base = SchedulerOptions {
             node_speed: vec![(slow_node, slow_factor)],
             speculative: false,
+            ..Default::default()
         };
         let spec_on = SchedulerOptions {
             node_speed: vec![(slow_node, slow_factor)],
             speculative: true,
+            ..Default::default()
         };
         let without = s.schedule_with(&tasks, 1, 0..6, &base);
         let with = s.schedule_with(&tasks, 1, 0..6, &spec_on);

@@ -32,7 +32,7 @@ proptest! {
         charges in proptest::collection::vec(charge_strategy(), 0..200),
     ) {
         let ledger = TrafficLedger::new();
-        let mut expected = [0u64; 9];
+        let mut expected = [0u64; TrafficClass::ALL.len()];
         for &(class_idx, bytes, window) in &charges {
             let class = TrafficClass::ALL[class_idx];
             match window {
@@ -60,6 +60,7 @@ proptest! {
                 + snap.get(TrafficClass::Merge)
                 + snap.get(TrafficClass::Broadcast)
                 + snap.get(TrafficClass::DfsWrite)
+                + snap.recovery_total()
         );
     }
 

@@ -1,11 +1,14 @@
 //! Straggler tolerance: the quorum-merge extension of the best-effort
 //! phase (timing-slack analogue of the paper's numerical forgiveness) and
-//! the scheduler's speculative execution.
+//! the scheduler's speculative execution, including their interaction
+//! with injected chaos (DESIGN.md §12).
 
 use pic_apps::kmeans::{gaussian_mixture, init_random_centroids, sse, Centroids, KMeansApp};
 use pic_core::prelude::*;
 use pic_mapreduce::{Dataset, Engine, Timing};
+use pic_simnet::chaos::FaultPlan;
 use pic_simnet::scheduler::{SchedulerOptions, SlotScheduler, TaskSpec};
+use pic_simnet::trace::check;
 use pic_simnet::ClusterSpec;
 
 fn setup() -> (KMeansApp, Vec<pic_apps::kmeans::Point>, Centroids) {
@@ -90,6 +93,61 @@ fn zero_quorum_rejected() {
 }
 
 #[test]
+fn quorum_merge_tolerates_injected_chaos() {
+    let (app, pts, init) = setup();
+
+    // Baseline: a 7/8-quorum run with one injected straggler partition.
+    let clean_engine = Engine::new(ClusterSpec::small());
+    let data = Dataset::create(&clean_engine, "/st/chaos", pts.clone(), 24);
+    clean_engine.reset();
+    let clean = run_pic(
+        &clean_engine,
+        &app,
+        &data,
+        init.clone(),
+        &pic_opts(0.85, vec![(3, 50.0)]),
+    );
+
+    // Same run under chaos: a node crash mid-run plus a link brown-out.
+    // A crash reschedules work and so may shift which partitions miss the
+    // quorum — the converged model is held to the same quality band the
+    // quorum itself is allowed, not to bit-equality.
+    let engine = Engine::new(ClusterSpec::small());
+    let data = Dataset::create(&engine, "/st/chaos", pts.clone(), 24);
+    engine.reset();
+    engine
+        .arm_chaos(
+            &FaultPlan::new(17)
+                .node_crash(2, 0.3 * clean.total_time_s)
+                .degrade_links(3.0, 0.1 * clean.total_time_s, 0.5 * clean.total_time_s),
+        )
+        .expect("valid plan");
+    let faulty = run_pic(
+        &engine,
+        &app,
+        &data,
+        init.clone(),
+        &pic_opts(0.85, vec![(3, 50.0)]),
+    );
+
+    assert!(engine.chaos().injected_events() >= 1, "no fault ever fired");
+    assert!(
+        faulty.total_time_s > clean.total_time_s,
+        "chaos cost no time: {} vs {}",
+        faulty.total_time_s,
+        clean.total_time_s
+    );
+    let sse_clean = sse(&pts, &clean.final_model);
+    let sse_faulty = sse(&pts, &faulty.final_model);
+    assert!(
+        sse_faulty <= sse_clean * 1.3 + 1e-9,
+        "chaos SSE {sse_faulty} vs clean SSE {sse_clean}"
+    );
+    check::validate(&engine.trace(), &engine.traffic())
+        .expect("chaotic quorum trace passes the structural suite");
+}
+
+#[test]
 fn speculative_execution_beats_a_slow_node() {
     let spec = ClusterSpec::small();
     // 6 equal tasks, node 2 runs 20× slower; one slot per node so exactly
@@ -98,10 +156,12 @@ fn speculative_execution_beats_a_slow_node() {
     let slow = SchedulerOptions {
         node_speed: vec![(2, 20.0)],
         speculative: false,
+        ..Default::default()
     };
     let spec_exec = SchedulerOptions {
         node_speed: vec![(2, 20.0)],
         speculative: true,
+        ..Default::default()
     };
 
     let sched = SlotScheduler::new(&spec);
@@ -137,6 +197,7 @@ fn speculation_is_a_noop_on_homogeneous_clusters() {
         &SchedulerOptions {
             node_speed: vec![],
             speculative: true,
+            ..Default::default()
         },
     );
     assert_eq!(plain.makespan_s, spec_exec.makespan_s);

@@ -225,6 +225,7 @@ fn speculative_launch_instants_mark_backup_attempts() {
     let opts = SchedulerOptions {
         node_speed: vec![(2, 20.0)],
         speculative: true,
+        ..Default::default()
     };
     let tracer = Tracer::standalone();
     let outcome =
