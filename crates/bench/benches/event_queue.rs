@@ -1,0 +1,83 @@
+//! Event-core microbenchmark: the calendar-queue `EventQueue` against
+//! the `HeapQueue` BinaryHeap baseline it replaced (DESIGN.md §13).
+//!
+//! Uses the classic *hold* model: pre-load the queue with `jobs`
+//! concurrent events, then repeatedly pop the earliest and push a
+//! replacement a pseudo-random increment in the future. That keeps the
+//! population constant — the steady state of a multi-tenant simulation
+//! where every departure schedules the next arrival — and makes the
+//! per-operation cost directly comparable across queue sizes.
+//!
+//! The `event_bench` binary runs the same model at a million events for
+//! the committed `BENCH_event_queue.csv` trend file; this harness is the
+//! interactive `cargo bench -p pic-bench --bench event_queue` view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pic_simnet::event::{EventQueue, HeapQueue};
+
+/// SplitMix64: deterministic increments without pulling `rand` into the
+/// hot loop (one mul+xor per draw, never zero-length).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn increment(state: &mut u64) -> f64 {
+    // Mean ~0.5 simulated seconds, bounded away from zero so FIFO
+    // tie-breaking is exercised only by the dedicated tests.
+    (splitmix64(state) % 1_000_000) as f64 * 1e-6 + 1e-6
+}
+
+const HOLD_OPS: usize = 50_000;
+
+fn hold_heap(jobs: usize) -> f64 {
+    let mut q = HeapQueue::new();
+    let mut rng = 0xE7E4u64;
+    for i in 0..jobs {
+        q.push(i as f64 * 1e-3, i as u32);
+    }
+    let mut last = 0.0;
+    for _ in 0..HOLD_OPS {
+        let t = q.peek_time().expect("hold keeps the queue non-empty");
+        let (_, id) = q.pop().expect("non-empty");
+        q.push(t + increment(&mut rng), id);
+        last = t;
+    }
+    last
+}
+
+fn hold_calendar(jobs: usize) -> f64 {
+    let mut q = EventQueue::new();
+    let mut rng = 0xE7E4u64;
+    for i in 0..jobs {
+        q.push(i as f64 * 1e-3, i as u32);
+    }
+    let mut last = 0.0;
+    for _ in 0..HOLD_OPS {
+        let t = q.peek_time().expect("hold keeps the queue non-empty");
+        let (_, id) = q.pop().expect("non-empty");
+        q.push(t + increment(&mut rng), id);
+        last = t;
+    }
+    last
+}
+
+fn bench_hold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue_hold");
+    g.sample_size(10);
+    for jobs in [1_000usize, 4_096, 16_384] {
+        g.bench_with_input(BenchmarkId::new("heap", jobs), &jobs, |b, &jobs| {
+            b.iter(|| hold_heap(jobs));
+        });
+        g.bench_with_input(BenchmarkId::new("calendar", jobs), &jobs, |b, &jobs| {
+            b.iter(|| hold_calendar(jobs));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hold);
+criterion_main!(benches);

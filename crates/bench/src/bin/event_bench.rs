@@ -1,0 +1,159 @@
+//! `event_bench` — the committed event-core benchmark behind
+//! `BENCH_event_queue.csv` (DESIGN.md §13).
+//!
+//! Runs the *hold* model (constant-population pop → push-replacement,
+//! the steady state of a multi-tenant simulation) for `--events` total
+//! operations at each `--jobs` concurrent-event population, once on the
+//! `HeapQueue` BinaryHeap baseline and once on the calendar-queue
+//! `EventQueue`, and reports host nanoseconds per operation.
+//!
+//! ```text
+//! event_bench --events 1000000 --jobs 1024,4096 --out BENCH_event_queue.csv --check
+//! ```
+//!
+//! `--check` exits non-zero unless the calendar queue beats the heap at
+//! every population of 1k+ jobs — the CI wiring for the tentpole claim.
+
+use pic_simnet::event::{EventQueue, HeapQueue};
+
+/// SplitMix64: deterministic hold increments without RNG setup cost.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn increment(state: &mut u64) -> f64 {
+    (splitmix64(state) % 1_000_000) as f64 * 1e-6 + 1e-6
+}
+
+/// One hold run: `events` pop+push pairs over a `jobs`-event population.
+/// Returns (ns per operation, checksum) — the checksum keeps the
+/// optimizer honest and doubles as a cross-implementation assert.
+macro_rules! hold {
+    ($queue:expr, $jobs:expr, $events:expr) => {{
+        let mut q = $queue;
+        let mut rng = 0xE7E4u64;
+        for i in 0..$jobs {
+            q.push(i as f64 * 1e-3, i as u32);
+        }
+        let t0 = std::time::Instant::now();
+        let mut checksum = 0.0f64;
+        for _ in 0..$events {
+            let (t, id) = q.pop().expect("hold keeps the queue non-empty");
+            checksum += t;
+            q.push(t + increment(&mut rng), id);
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / $events as f64;
+        (ns, checksum)
+    }};
+}
+
+struct Flags {
+    events: usize,
+    jobs: Vec<usize>,
+    out: Option<String>,
+    check: bool,
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: event_bench [--events <n>] [--jobs <a,b,..>] [--out <csv>] [--check]\n\n\
+         Hold-model benchmark of the calendar-queue EventQueue against the\n\
+         BinaryHeap baseline. --events is the total operations per run\n\
+         (default 1000000); --jobs the concurrent-event populations\n\
+         (default 1024,4096,16384); --out appends/writes the CSV trend file;\n\
+         --check exits 1 unless the calendar queue wins at every 1k+ population."
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        events: 1_000_000,
+        jobs: vec![1_024, 4_096, 16_384],
+        out: None,
+        check: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| usage("flag needs a value"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--events" => {
+                flags.events = take(&mut i).parse().unwrap_or_else(|_| usage("--events"));
+                if flags.events == 0 {
+                    usage("--events must be positive");
+                }
+            }
+            "--jobs" => {
+                flags.jobs = take(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage("--jobs")))
+                    .collect();
+                if flags.jobs.is_empty() || flags.jobs.contains(&0) {
+                    usage("--jobs wants positive populations");
+                }
+            }
+            "--out" => flags.out = Some(take(&mut i)),
+            "--check" => flags.check = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn main() {
+    let flags = parse_flags();
+    let mut csv = String::from("events,jobs,heap_ns_per_op,calendar_ns_per_op,speedup_x\n");
+    let mut losses = 0usize;
+
+    for &jobs in &flags.jobs {
+        let (heap_ns, heap_sum) = hold!(HeapQueue::new(), jobs, flags.events);
+        let (cal_ns, cal_sum) = hold!(EventQueue::new(), jobs, flags.events);
+        assert_eq!(
+            heap_sum.to_bits(),
+            cal_sum.to_bits(),
+            "hold runs must pop identical event sequences"
+        );
+        let speedup = heap_ns / cal_ns;
+        println!(
+            "jobs {jobs:>6}: heap {heap_ns:8.1} ns/op, calendar {cal_ns:8.1} ns/op, {speedup:.2}x"
+        );
+        csv.push_str(&format!(
+            "{},{},{:.1},{:.1},{:.3}\n",
+            flags.events, jobs, heap_ns, cal_ns, speedup
+        ));
+        if jobs >= 1_000 && cal_ns >= heap_ns {
+            losses += 1;
+        }
+    }
+
+    if let Some(path) = &flags.out {
+        std::fs::write(path, &csv).unwrap_or_else(|e| {
+            eprintln!("[event_bench] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[event_bench] wrote {path}");
+    }
+
+    if flags.check && losses > 0 {
+        eprintln!("[event_bench] FAIL: calendar queue lost at {losses} population(s) of 1k+ jobs");
+        std::process::exit(1);
+    }
+    if flags.check {
+        eprintln!("[event_bench] PASS: calendar queue wins at every 1k+ population");
+    }
+}

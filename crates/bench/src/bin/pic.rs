@@ -27,7 +27,7 @@
 //! ```
 
 use pic_bench::experiments::common::cost;
-use pic_bench::experiments::{chaos, report as perf, ExperimentCtx};
+use pic_bench::experiments::{chaos, report as perf, tenancy, ExperimentCtx};
 use pic_bench::table::{fmt_bytes, fmt_secs, fmt_x, Table};
 use pic_core::prelude::*;
 use pic_mapreduce::{Dataset, Engine};
@@ -146,7 +146,20 @@ fn usage(err: &str) -> ! {
            --scale <f>          workload scale multiplier (default 1.0)\n\
            --scenarios <a,b,..> subset of the scenario matrix (default all)\n\
            --csv <path>         write the campaign cells as CSV\n\
-           --list-scenarios     print the valid scenario names and exit"
+           --list-scenarios     print the valid scenario names and exit\n\
+         \n\
+         usage: pic tenancy [flags] — multi-tenant job stream (DESIGN.md §13)\n\
+         \n\
+         flags:\n\
+           --preset <p>         topology preset: 1k | 2k | 4k | 10k (default 1k)\n\
+           --jobs <n>           concurrent jobs in the stream (default 16)\n\
+           --arrival <r>        mean arrivals per second (default 0.02)\n\
+           --mix <a=w,b=w,..>   app mix weights (default kmeans,linsolve,smoothing at 1)\n\
+           --drivers <d>        mixed | ic | pic (default mixed)\n\
+           --scales <n,n,..>    node counts jobs request (default 64,128,256)\n\
+           --seed <s>           stream seed (default 0x7E4A)\n\
+           --scale <f>          profile-run workload scale multiplier (default 1.0)\n\
+           --csv <path>         write the per-job rows as CSV"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -279,7 +292,10 @@ fn run_report(argv: &[String]) -> ! {
     }
 
     if let Some(path) = &json_path {
-        let doc = perf::bench_json(&ctx, &runs, &cells);
+        // The multi-tenant packing section rides along only when the
+        // JSON artifact is requested — it pays for 12 solo profile runs.
+        let tenancy_section = tenancy::section(&ctx).unwrap_or_else(|e| usage(&e));
+        let doc = perf::bench_json(&ctx, &runs, &cells, Some(&tenancy_section));
         std::fs::write(path, &doc).unwrap_or_else(|e| {
             eprintln!("[pic report] cannot write {path}: {e}");
             std::process::exit(2);
@@ -445,6 +461,100 @@ fn run_chaos(argv: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `pic tenancy`: generate a seeded multi-tenant job stream, run it
+/// through the cluster-level scheduler, and print per-job rows plus the
+/// time-to-quality percentile summary (DESIGN.md §13).
+fn run_tenancy(argv: &[String]) -> ! {
+    let mut ctx = ExperimentCtx::default();
+    let mut preset_name = "1k".to_string();
+    let mut wl = tenancy::default_workload();
+    let mut csv_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| usage("flag needs a value"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--preset" => preset_name = take(&mut i),
+            "--jobs" => wl.jobs = take(&mut i).parse().unwrap_or_else(|_| usage("--jobs")),
+            "--arrival" => {
+                wl.arrival_per_s = take(&mut i).parse().unwrap_or_else(|_| usage("--arrival"));
+            }
+            "--mix" => {
+                wl.mix = take(&mut i)
+                    .split(',')
+                    .map(|pair| {
+                        let (app, w) = pair
+                            .split_once('=')
+                            .unwrap_or_else(|| usage("--mix wants app=weight,app=weight"));
+                        let w: f64 = w.trim().parse().unwrap_or_else(|_| usage("--mix weight"));
+                        (app.trim().to_string(), w)
+                    })
+                    .collect();
+            }
+            "--drivers" => {
+                wl.drivers = pic_simnet::tenancy::DriverMix::parse(&take(&mut i))
+                    .unwrap_or_else(|e| usage(&e));
+            }
+            "--scales" => {
+                wl.scales = take(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage("--scales")))
+                    .collect();
+            }
+            "--seed" => wl.seed = take(&mut i).parse().unwrap_or_else(|_| usage("--seed")),
+            "--scale" => {
+                ctx.scale = take(&mut i).parse().unwrap_or_else(|_| usage("--scale"));
+                if !(ctx.scale > 0.0) {
+                    usage("--scale must be positive");
+                }
+            }
+            "--csv" => csv_path = Some(take(&mut i)),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+
+    let report = tenancy::stream(&ctx, &preset_name, &wl).unwrap_or_else(|e| usage(&e));
+
+    let mut t = Table::new([
+        "job", "app", "driver", "arrive", "admit", "finish", "queued", "tt-qual", "contend",
+        "nodes", "preempt",
+    ]);
+    for r in &report.rows {
+        t.row([
+            &r.id.to_string(),
+            &r.app,
+            &r.driver,
+            &fmt_secs(r.arrival_s),
+            &fmt_secs(r.admitted_s),
+            &fmt_secs(r.finish_s),
+            &fmt_secs(r.queue_delay_s),
+            &fmt_secs(r.tt_quality_s),
+            &fmt_secs(r.contention_s),
+            &format!("{}/{}", r.granted_nodes, r.requested_nodes),
+            &r.preemptions.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("{}", report.render());
+
+    if let Some(path) = &csv_path {
+        let doc = tenancy::tenancy_csv(&report);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[pic tenancy] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[pic tenancy] wrote {path} ({} bytes)", doc.len());
+    }
+    std::process::exit(0);
+}
+
 /// Run one app through both drivers and print the comparison.
 fn report<A: PicApp + QualityProbe>(
     spec: &ClusterSpec,
@@ -534,6 +644,7 @@ fn main() {
         Some("report") => run_report(&argv[1..]),
         Some("timeline") => run_timeline(&argv[1..]),
         Some("chaos") => run_chaos(&argv[1..]),
+        Some("tenancy") => run_tenancy(&argv[1..]),
         Some("--list-apps") => {
             for app in perf::APPS {
                 println!("{app}");

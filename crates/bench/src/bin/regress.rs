@@ -21,7 +21,7 @@
 //! diffing (how the committed file is regenerated after an intentional
 //! performance change).
 
-use pic_bench::experiments::{chaos, report as perf, ExperimentCtx};
+use pic_bench::experiments::{chaos, report as perf, tenancy, ExperimentCtx};
 use pic_bench::json;
 
 struct Flags {
@@ -33,6 +33,7 @@ struct Flags {
     csv: Option<String>,
     util_csv: Option<String>,
     chaos_csv: Option<String>,
+    tenancy_csv: Option<String>,
 }
 
 fn usage(err: &str) -> ! {
@@ -42,14 +43,16 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: regress [--baseline <path>] [--scale <f>] [--out <path>] \
          [--epsilon <e>] [--csv <path>] [--util-csv <path>] \
-         [--chaos-csv <path>] [--update]\n\n\
+         [--chaos-csv <path>] [--tenancy-csv <path>] [--update]\n\n\
          Runs the pic-report suite plus the fault-injection campaign and\n\
-         diffs the fresh BENCH_pic.json against the committed baseline\n\
-         (exact for bytes/counters, relative epsilon for *_s / *_x / *_err\n\
+         the multi-tenant packing stream, and diffs the fresh\n\
+         BENCH_pic.json against the committed baseline (exact for\n\
+         bytes/counters, relative epsilon for *_s / *_x / *_err\n\
          / *_util keys — recovery_s and tt_quality_delta_s get a 100x-wider\n\
          band — host_* ignored). --update rewrites the baseline. --csv also\n\
          writes the convergence curves as CSV; --util-csv the utilization\n\
-         series; --chaos-csv the quality-under-failure campaign cells.\n\
+         series; --chaos-csv the quality-under-failure campaign cells;\n\
+         --tenancy-csv the per-job rows of the mixed tenancy stream.\n\
          Defaults: --baseline BENCH_pic.json --scale 0.05\n\
          --out target/BENCH_pic.fresh.json --epsilon 1e-9"
     );
@@ -66,6 +69,7 @@ fn parse_flags() -> Flags {
         csv: None,
         util_csv: None,
         chaos_csv: None,
+        tenancy_csv: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -91,6 +95,7 @@ fn parse_flags() -> Flags {
             "--csv" => flags.csv = Some(take(&mut i)),
             "--util-csv" => flags.util_csv = Some(take(&mut i)),
             "--chaos-csv" => flags.chaos_csv = Some(take(&mut i)),
+            "--tenancy-csv" => flags.tenancy_csv = Some(take(&mut i)),
             "--update" => flags.update = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
@@ -108,7 +113,8 @@ fn main() {
     let app_refs: Vec<&str> = perf::APPS.to_vec();
     let runs = perf::collect(&ctx, &app_refs).unwrap_or_else(|e| usage(&e));
     let cells = chaos::campaign(&ctx, &chaos::SCENARIOS).unwrap_or_else(|e| usage(&e));
-    let fresh_text = perf::bench_json(&ctx, &runs, &cells);
+    let tenancy_section = tenancy::section(&ctx).unwrap_or_else(|e| usage(&e));
+    let fresh_text = perf::bench_json(&ctx, &runs, &cells, Some(&tenancy_section));
     eprintln!(
         "[regress] suite ran in {:.1}s (host time) at scale {}",
         t0.elapsed().as_secs_f64(),
@@ -154,6 +160,15 @@ fn main() {
             std::process::exit(2);
         });
         eprintln!("[regress] wrote quality-under-failure cells to {path}");
+    }
+
+    if let Some(path) = &flags.tenancy_csv {
+        let doc = tenancy::tenancy_csv(&tenancy_section.mixed);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[regress] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[regress] wrote tenancy per-job rows to {path}");
     }
 
     if flags.update {

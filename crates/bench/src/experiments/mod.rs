@@ -13,6 +13,7 @@ pub mod fig2;
 pub mod report;
 pub mod speedups;
 pub mod tables;
+pub mod tenancy;
 pub mod trajectories;
 
 /// Shared knob: scales every workload's record count. `1.0` is the

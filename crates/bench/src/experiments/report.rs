@@ -243,11 +243,13 @@ pub fn collect(ctx: &ExperimentCtx, apps: &[&str]) -> Result<Vec<AppRun>, String
 /// sits on its own line so determinism checks can strip them; everything
 /// else is a pure function of the simulated runs. `chaos` is the
 /// quality-under-failure campaign matrix (may be empty when the caller
-/// skips the campaign).
+/// skips the campaign); `tenancy` is the multi-tenant packing section
+/// (`null` when the caller skips the stream).
 pub fn bench_json(
     ctx: &ExperimentCtx,
     runs: &[AppRun],
     chaos: &[super::chaos::ChaosCell],
+    tenancy: Option<&super::tenancy::TenancySection>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -311,7 +313,13 @@ pub fn bench_json(
     out.push_str("  ],\n");
     out.push_str("  \"quality_under_failure\": [\n");
     out.push_str(&super::chaos::cells_json(chaos, 4));
-    out.push_str("  ]\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"tenancy\": ");
+    match tenancy {
+        Some(s) => out.push_str(super::tenancy::section_json(s, 2).trim_start()),
+        None => out.push_str("null"),
+    }
+    out.push('\n');
     out.push_str("}\n");
     out
 }
@@ -361,7 +369,7 @@ mod tests {
         assert!(runs[0].validate().is_empty());
         assert!(runs[0].speedup_x() > 1.0);
 
-        let doc = bench_json(&ctx, &runs, &[]);
+        let doc = bench_json(&ctx, &runs, &[], None);
         let parsed = json::parse(&doc).unwrap();
         assert_eq!(
             parsed.get("schema_version").unwrap().as_f64(),
@@ -393,7 +401,7 @@ mod tests {
     #[test]
     fn bench_json_host_lines_are_isolated() {
         let ctx = ExperimentCtx { scale: 0.01 };
-        let doc = bench_json(&ctx, &linsolve_runs(), &[]);
+        let doc = bench_json(&ctx, &linsolve_runs(), &[], None);
         let host_lines: Vec<&str> = doc.lines().filter(|l| l.contains("host_")).collect();
         assert_eq!(host_lines.len(), 1, "one host key per app run");
         assert!(host_lines[0].trim_start().starts_with("\"host_elapsed_s\""));
@@ -417,7 +425,7 @@ mod tests {
     #[test]
     fn quality_drift_beyond_tolerance_is_a_regression() {
         let ctx = ExperimentCtx { scale: 0.01 };
-        let doc = bench_json(&ctx, &linsolve_runs(), &[]);
+        let doc = bench_json(&ctx, &linsolve_runs(), &[], None);
         let baseline = json::parse(&doc).unwrap();
         assert!(json::diff(&baseline, &baseline, 1e-6).is_empty());
 
@@ -454,7 +462,7 @@ mod tests {
     #[test]
     fn utilization_drift_is_a_regression() {
         let ctx = ExperimentCtx { scale: 0.01 };
-        let doc = bench_json(&ctx, &linsolve_runs(), &[]);
+        let doc = bench_json(&ctx, &linsolve_runs(), &[], None);
         let baseline = json::parse(&doc).unwrap();
 
         let key = r#""peak_util": "#;
@@ -499,7 +507,7 @@ mod tests {
             tt_quality_delta_s: 5.0,
             exact_result: true,
         };
-        let doc = bench_json(&ctx, &linsolve_runs(), &[cell]);
+        let doc = bench_json(&ctx, &linsolve_runs(), &[cell], None);
         let baseline = json::parse(&doc).unwrap();
         assert!(json::diff(&baseline, &baseline, 1e-6).is_empty());
 
@@ -534,6 +542,74 @@ mod tests {
         assert!(
             diffs.iter().any(|d| d.contains("recovery_bytes")),
             "drifted recovery_bytes not flagged: {diffs:?}"
+        );
+    }
+
+    /// The gate must catch tenancy drift: `p99_tt_quality_s` sits in the
+    /// standard `_s` band and `packing_x` in the `_x` band, while job
+    /// counts and preemptions are exact-gated.
+    #[test]
+    fn tenancy_drift_beyond_tolerance_is_a_regression() {
+        use pic_simnet::report::{TenancyReport, TenancyRow};
+        let ctx = ExperimentCtx { scale: 0.01 };
+        let rows: Vec<TenancyRow> = (0..4)
+            .map(|i| TenancyRow {
+                id: i,
+                app: "linsolve".to_string(),
+                driver: if i % 2 == 0 { "ic" } else { "pic" }.to_string(),
+                arrival_s: i as f64 * 10.0,
+                admitted_s: i as f64 * 10.0 + 1.0,
+                finish_s: i as f64 * 10.0 + 100.0,
+                queue_delay_s: 1.0,
+                tt_quality_s: 80.0 + i as f64,
+                contention_s: 2.0,
+                requested_nodes: 64,
+                granted_nodes: 64,
+                preemptions: 0,
+            })
+            .collect();
+        let section = crate::experiments::tenancy::TenancySection {
+            mixed: TenancyReport {
+                preset: "1k".to_string(),
+                cluster_nodes: 1000,
+                rows,
+                makespan_s: 130.0,
+            },
+            ic_p99_tt_quality_s: 120.0,
+            pic_p99_tt_quality_s: 80.0,
+            packing_x: 1.5,
+            exact_models: true,
+        };
+        let doc = bench_json(&ctx, &linsolve_runs(), &[], Some(&section));
+        let baseline = json::parse(&doc).unwrap();
+        assert!(json::diff(&baseline, &baseline, 1e-6).is_empty());
+
+        for key_name in ["p99_tt_quality_s", "packing_x"] {
+            let key = format!("\"{key_name}\": ");
+            let start = doc
+                .find(&key)
+                .unwrap_or_else(|| panic!("{key_name} in json"))
+                + key.len();
+            let end = start + doc[start..].find([',', '\n']).unwrap();
+            let v: f64 = doc[start..end].trim().parse().unwrap();
+            let drifted = format!("{}{}{}", &doc[..start], v + 10.0, &doc[end..]);
+            let diffs = json::diff(&baseline, &json::parse(&drifted).unwrap(), 1e-6);
+            assert!(
+                diffs.iter().any(|d| d.contains(key_name)),
+                "drifted {key_name} not flagged: {diffs:?}"
+            );
+        }
+
+        // Preemption counts are exact-gated.
+        let key = r#""preemption_total": "#;
+        let start = doc.find(key).expect("preemption_total in json") + key.len();
+        let end = start + doc[start..].find(',').unwrap();
+        let n: u64 = doc[start..end].trim().parse().unwrap();
+        let drifted = format!("{}{}{}", &doc[..start], n + 1, &doc[end..]);
+        let diffs = json::diff(&baseline, &json::parse(&drifted).unwrap(), 1e-6);
+        assert!(
+            diffs.iter().any(|d| d.contains("preemption_total")),
+            "drifted preemption_total not flagged: {diffs:?}"
         );
     }
 

@@ -1,0 +1,553 @@
+//! Multi-tenant packing experiment (DESIGN.md §13): generate a seeded
+//! stream of concurrent IC/PIC jobs against a 1k–10k-node preset, run it
+//! through `pic_simnet::tenancy`'s cluster scheduler, and report per-job
+//! time-to-quality percentiles plus the packing-density headline (PIC
+//! p99 vs IC p99 at the same arrival stream).
+//!
+//! Job *profiles* are derived from real solo runs on the small reference
+//! cluster: each driver runs once per app, its per-iteration simulated
+//! times and bisection bytes become the profile, and the converged model
+//! is kept. The tenancy simulation only re-times those iterations under
+//! contention — it never re-computes them — so every tenant's model is
+//! bit-identical to its solo run *by construction*. Each profile run is
+//! repeated on a fresh engine and the two models compared, which pins
+//! that construction against future drift.
+
+use super::common::cost::{self, AppCost};
+use super::ExperimentCtx;
+use pic_core::prelude::*;
+use pic_mapreduce::{Dataset, Engine};
+use pic_simnet::report::{fmt_f64, TenancyReport};
+use pic_simnet::tenancy::{
+    preset, DriverMix, IterKind, IterationDemand, JobProfile, TenancyJob, WorkloadSpec,
+};
+use pic_simnet::{ClusterSpec, Tracer, TrafficClass};
+use std::collections::BTreeMap;
+
+/// The apps the tenancy stream draws from (same representative subset as
+/// the chaos campaign: centroid model, dense vector model, grid model).
+pub const TENANCY_APPS: [&str; 3] = ["kmeans", "linsolve", "smoothing"];
+
+/// Seed of the default workload (arrivals, app picks, scale picks).
+pub const STREAM_SEED: u64 = 0x7E4A;
+
+/// One derived profile: how the job runs, plus whether a second fresh
+/// solo run converged to the bit-identical model.
+#[derive(Debug, Clone)]
+pub struct SoloProfile {
+    /// Iteration demands + quality target derived from the solo run.
+    pub profile: JobProfile,
+    /// Second solo run produced the same model, bit for bit.
+    pub exact_model: bool,
+}
+
+/// Profiles keyed by `(app, driver)`.
+pub type ProfileSet = BTreeMap<(String, &'static str), SoloProfile>;
+
+/// The `tenancy` section of `BENCH_pic.json`: the mixed stream plus the
+/// packing-density comparison (same arrivals, IC-only vs PIC-only).
+#[derive(Debug, Clone)]
+pub struct TenancySection {
+    /// The mixed IC/PIC stream.
+    pub mixed: TenancyReport,
+    /// p99 time-to-quality when every job is IC.
+    pub ic_p99_tt_quality_s: f64,
+    /// p99 time-to-quality when every job is PIC.
+    pub pic_p99_tt_quality_s: f64,
+    /// Packing density: `ic_p99 / pic_p99` (> 1 means PIC packs more
+    /// tenants per cluster at equal p99).
+    pub packing_x: f64,
+    /// Every profile's second solo run reproduced its model exactly.
+    pub exact_models: bool,
+}
+
+/// The default 16-job stream the BENCH section and CI matrix run.
+pub fn default_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        jobs: 16,
+        arrival_per_s: 0.02,
+        mix: TENANCY_APPS.iter().map(|a| (a.to_string(), 1.0)).collect(),
+        drivers: DriverMix::Mixed,
+        scales: vec![64, 128, 256],
+        seed: STREAM_SEED,
+    }
+}
+
+/// First index (1-based, over the last `total_iters` trajectory points)
+/// at which the run is within 5% of its own final error — the same
+/// within-5% target the chaos campaign uses.
+fn quality_index(traj: &[TrajectoryPoint], total_iters: usize) -> usize {
+    if traj.is_empty() || total_iters == 0 {
+        return total_iters.max(1);
+    }
+    let fin = traj.last().expect("non-empty").error;
+    let target = fin * 1.05 + 1e-12;
+    let skip = traj.len().saturating_sub(total_iters);
+    traj[skip..]
+        .iter()
+        .position(|p| p.error <= target)
+        .map(|i| i + 1)
+        .unwrap_or(total_iters)
+        .clamp(1, total_iters)
+}
+
+/// One solo run of `driver`, returning the derived profile and the
+/// converged model.
+#[allow(clippy::too_many_arguments)]
+fn run_solo<A: PicApp + QualityProbe>(
+    who: &str,
+    driver: &'static str,
+    spec: &ClusterSpec,
+    app: &A,
+    records: &[A::Record],
+    init: &A::Model,
+    splits: usize,
+    partitions: usize,
+    cost: &AppCost,
+) -> Result<(JobProfile, A::Model), String>
+where
+    A::Record: Clone,
+    A::Model: Clone,
+{
+    let engine = Engine::new(spec.clone());
+    let data = Dataset::create(&engine, "/tenancy/input", records.to_vec(), splits);
+    engine.reset();
+    if driver == "ic" {
+        let r = run_ic(
+            &engine,
+            app,
+            &data,
+            init.clone(),
+            &IcOptions {
+                timing: cost.timing.clone(),
+                ..Default::default()
+            },
+        );
+        if r.per_iteration.is_empty() {
+            return Err(format!("{who}: solo IC run had no iterations"));
+        }
+        let iterations: Vec<IterationDemand> = r
+            .per_iteration
+            .iter()
+            .map(|it| IterationDemand {
+                kind: IterKind::Ic,
+                tasks: splits,
+                task_duration_s: it.time_s,
+                bisection_bytes: it.traffic.shuffle_total() + it.traffic.model_update_total(),
+            })
+            .collect();
+        let quality_iteration = quality_index(&r.trajectory, iterations.len());
+        Ok((
+            JobProfile {
+                iterations,
+                quality_iteration,
+            },
+            r.final_model,
+        ))
+    } else {
+        let r = run_pic(
+            &engine,
+            app,
+            &data,
+            init.clone(),
+            &PicOptions {
+                partitions,
+                timing: cost.timing.clone(),
+                local_secs_per_record: Some(cost.local_secs),
+                ..Default::default()
+            },
+        );
+        let mut iterations = Vec::new();
+        if r.be_iterations > 0 {
+            let n = r.be_iterations as u64;
+            let per_bytes = (r.be_traffic.get(TrafficClass::Merge)
+                + r.be_traffic.model_update_total()
+                + r.be_traffic.shuffle_total())
+                / n;
+            for _ in 0..r.be_iterations {
+                iterations.push(IterationDemand {
+                    kind: IterKind::Be,
+                    tasks: partitions,
+                    task_duration_s: r.be_time_s / r.be_iterations as f64,
+                    bisection_bytes: per_bytes,
+                });
+            }
+        }
+        if r.topoff_iterations > 0 {
+            let n = r.topoff_iterations as u64;
+            let per_bytes =
+                (r.topoff_traffic.shuffle_total() + r.topoff_traffic.model_update_total()) / n;
+            for _ in 0..r.topoff_iterations {
+                iterations.push(IterationDemand {
+                    kind: IterKind::Topoff,
+                    tasks: splits,
+                    task_duration_s: r.topoff_time_s / r.topoff_iterations as f64,
+                    bisection_bytes: per_bytes,
+                });
+            }
+        }
+        if iterations.is_empty() {
+            return Err(format!("{who}: solo PIC run had no iterations"));
+        }
+        let quality_iteration = quality_index(&r.trajectory, iterations.len());
+        Ok((
+            JobProfile {
+                iterations,
+                quality_iteration,
+            },
+            r.final_model,
+        ))
+    }
+}
+
+/// Two solo runs on fresh engines: the profile from the first, the
+/// exact-model bit from comparing both converged models.
+#[allow(clippy::too_many_arguments)]
+fn solo_pair<A: PicApp + QualityProbe>(
+    app_name: &str,
+    driver: &'static str,
+    spec: &ClusterSpec,
+    app: &A,
+    records: &[A::Record],
+    init: &A::Model,
+    splits: usize,
+    partitions: usize,
+    cost: &AppCost,
+) -> Result<SoloProfile, String>
+where
+    A::Record: Clone,
+    A::Model: Clone + PartialEq,
+{
+    let who = format!("{app_name}/{driver}");
+    let (profile, m1) = run_solo(
+        &who, driver, spec, app, records, init, splits, partitions, cost,
+    )?;
+    let (_, m2) = run_solo(
+        &who, driver, spec, app, records, init, splits, partitions, cost,
+    )?;
+    Ok(SoloProfile {
+        profile,
+        exact_model: m1 == m2,
+    })
+}
+
+/// Derive profiles for every `(app, driver)` pair the stream can draw:
+/// [`TENANCY_APPS`] × {ic, pic}, on the small reference cluster with the
+/// same per-app configurations as the chaos campaign.
+pub fn profiles(ctx: &ExperimentCtx) -> Result<ProfileSet, String> {
+    let mut out = ProfileSet::new();
+    let spec = ClusterSpec::small();
+
+    // K-means: small mixture, centroid model.
+    {
+        use pic_apps::kmeans::{gaussian_mixture, init_random_centroids, Centroids, KMeansApp};
+        let app = KMeansApp::new(4, 2, 1.0);
+        let records = gaussian_mixture(ctx.n(2_000, 400), 4, 2, 1000.0, 40.0, 3);
+        let init = Centroids::new(init_random_centroids(4, 2, 1000.0, 7));
+        let sample: Vec<_> = records.iter().step_by(2).cloned().collect();
+        let reference = app.solve_reference(&sample, &init, 300);
+        let app = app.with_eval_sample(sample, &reference);
+        let (splits, partitions) = (6, 4);
+        let c = cost::kmeans();
+        for driver in ["ic", "pic"] {
+            let p = solo_pair(
+                "kmeans", driver, &spec, &app, &records, &init, splits, partitions, &c,
+            )?;
+            out.insert(("kmeans".to_string(), driver), p);
+        }
+    }
+
+    // Linear solver: dense vector model.
+    {
+        use pic_apps::linsolve::{diag_dominant_system, LinSolveApp};
+        let n = 100;
+        let sys = diag_dominant_system(n, 0.05, 11);
+        let app = LinSolveApp::new(n, 5, 1e-8)
+            .with_exact(sys.exact.clone())
+            .with_rows(sys.rows.clone());
+        let init = vec![0.0; n];
+        let (splits, partitions) = (5, 5);
+        let c = cost::linsolve();
+        for driver in ["ic", "pic"] {
+            let p = solo_pair(
+                "linsolve", driver, &spec, &app, &sys.rows, &init, splits, partitions, &c,
+            )?;
+            out.insert(("linsolve".to_string(), driver), p);
+        }
+    }
+
+    // Smoothing: grid model.
+    {
+        use pic_apps::smoothing::{noisy_image, SmoothingApp};
+        let side = 64;
+        let f = noisy_image(side, side, 0.08, 5);
+        let app = SmoothingApp::new(side, side, 8, 1e-6).with_observed(f.clone());
+        let records = f.rows();
+        let (splits, partitions) = (8, 8);
+        let c = cost::smoothing(side);
+        for driver in ["ic", "pic"] {
+            let p = solo_pair(
+                "smoothing",
+                driver,
+                &spec,
+                &app,
+                &records,
+                &f,
+                splits,
+                partitions,
+                &c,
+            )?;
+            out.insert(("smoothing".to_string(), driver), p);
+        }
+    }
+
+    Ok(out)
+}
+
+/// True when every profile's repeat run reproduced its model exactly.
+pub fn models_exact(set: &ProfileSet) -> bool {
+    set.values().all(|p| p.exact_model)
+}
+
+/// Run one stream with already-derived profiles.
+pub fn stream_with(
+    preset_name: &str,
+    wl: &WorkloadSpec,
+    set: &ProfileSet,
+) -> Result<TenancyReport, String> {
+    let cluster = preset(preset_name)?;
+    wl.validate(&TENANCY_APPS, &cluster)?;
+    let jobs: Vec<TenancyJob> = wl
+        .arrivals()
+        .into_iter()
+        .map(|arrival| {
+            let key = (arrival.app.clone(), arrival.driver);
+            let p = set
+                .get(&key)
+                .unwrap_or_else(|| panic!("no profile for {key:?}"))
+                .profile
+                .clone();
+            TenancyJob {
+                arrival,
+                profile: p,
+            }
+        })
+        .collect();
+    let tracer = Tracer::standalone();
+    Ok(pic_simnet::tenancy::run_stream(
+        preset_name,
+        &cluster,
+        &jobs,
+        &tracer,
+    ))
+}
+
+/// Derive profiles and run one stream (the `pic tenancy` entry point).
+pub fn stream(
+    ctx: &ExperimentCtx,
+    preset_name: &str,
+    wl: &WorkloadSpec,
+) -> Result<TenancyReport, String> {
+    // Validate before paying for profile runs so a bad spec fails fast.
+    let cluster = preset(preset_name)?;
+    wl.validate(&TENANCY_APPS, &cluster)?;
+    let set = profiles(ctx)?;
+    stream_with(preset_name, wl, &set)
+}
+
+/// Build the BENCH `tenancy` section: the default mixed stream at the 1k
+/// preset, plus IC-only and PIC-only replays of the same arrivals for
+/// the packing-density headline.
+pub fn section(ctx: &ExperimentCtx) -> Result<TenancySection, String> {
+    let set = profiles(ctx)?;
+    let wl = default_workload();
+    let mixed = stream_with("1k", &wl, &set)?;
+    let ic = stream_with(
+        "1k",
+        &WorkloadSpec {
+            drivers: DriverMix::IcOnly,
+            ..wl.clone()
+        },
+        &set,
+    )?;
+    let pic = stream_with(
+        "1k",
+        &WorkloadSpec {
+            drivers: DriverMix::PicOnly,
+            ..wl
+        },
+        &set,
+    )?;
+    let ic_p99 = ic.tt_quality_percentile(99.0);
+    let pic_p99 = pic.tt_quality_percentile(99.0);
+    Ok(TenancySection {
+        mixed,
+        ic_p99_tt_quality_s: ic_p99,
+        pic_p99_tt_quality_s: pic_p99,
+        packing_x: if pic_p99 > 0.0 { ic_p99 / pic_p99 } else { 0.0 },
+        exact_models: models_exact(&set),
+    })
+}
+
+/// The section as a JSON object (for `bench_json`), indented by
+/// `indent` spaces.
+pub fn section_json(s: &TenancySection, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let mut out = String::new();
+    out.push_str(&format!("{pad}{{\n"));
+    out.push_str(&format!(
+        "{pad}  \"ic_p99_tt_quality_s\": {},\n",
+        fmt_f64(s.ic_p99_tt_quality_s)
+    ));
+    out.push_str(&format!(
+        "{pad}  \"pic_p99_tt_quality_s\": {},\n",
+        fmt_f64(s.pic_p99_tt_quality_s)
+    ));
+    out.push_str(&format!(
+        "{pad}  \"packing_x\": {},\n",
+        fmt_f64(s.packing_x)
+    ));
+    out.push_str(&format!("{pad}  \"exact_models\": {},\n", s.exact_models));
+    out.push_str(&format!(
+        "{pad}  \"mixed\": {}\n",
+        s.mixed.to_json(indent + 2).trim_start()
+    ));
+    out.push_str(&format!("{pad}}}"));
+    out
+}
+
+/// The per-job rows as one CSV document (the CI artifact).
+pub fn tenancy_csv(r: &TenancyReport) -> String {
+    let mut out = String::from(TenancyReport::csv_header());
+    out.push('\n');
+    out.push_str(&r.csv_rows());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ctx() -> ExperimentCtx {
+        ExperimentCtx { scale: 0.01 }
+    }
+
+    /// A tiny synthetic profile set so scheduler-level tests don't pay
+    /// for real solo runs.
+    fn toy_profiles() -> ProfileSet {
+        let mut set = ProfileSet::new();
+        for app in TENANCY_APPS {
+            for (driver, kind) in [("ic", IterKind::Ic), ("pic", IterKind::Be)] {
+                set.insert(
+                    (app.to_string(), driver),
+                    SoloProfile {
+                        profile: JobProfile {
+                            iterations: (0..3)
+                                .map(|_| IterationDemand {
+                                    kind,
+                                    tasks: 6,
+                                    task_duration_s: 2.0,
+                                    bisection_bytes: 10_000_000,
+                                })
+                                .collect(),
+                            quality_iteration: 2,
+                        },
+                        exact_model: true,
+                    },
+                );
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn workload_rejections_are_pinned() {
+        let set = toy_profiles();
+        let ok = default_workload();
+
+        let err = stream_with(
+            "1k",
+            &WorkloadSpec {
+                jobs: 0,
+                ..ok.clone()
+            },
+            &set,
+        )
+        .unwrap_err();
+        assert_eq!(err, "workload must have at least one job");
+
+        let err = stream_with(
+            "1k",
+            &WorkloadSpec {
+                mix: vec![("pagerank".to_string(), 1.0)],
+                ..ok.clone()
+            },
+            &set,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown app 'pagerank' in mix"), "{err}");
+        for a in TENANCY_APPS {
+            assert!(err.contains(a), "error must name {a}: {err}");
+        }
+
+        let err = stream_with(
+            "1k",
+            &WorkloadSpec {
+                arrival_per_s: 0.0,
+                ..ok.clone()
+            },
+            &set,
+        )
+        .unwrap_err();
+        assert_eq!(err, "arrival rate must be positive (got 0)");
+
+        let err = stream_with(
+            "1k",
+            &WorkloadSpec {
+                scales: vec![2048],
+                ..ok.clone()
+            },
+            &set,
+        )
+        .unwrap_err();
+        assert_eq!(err, "job scale 2048 exceeds topology capacity (1000 nodes)");
+
+        let err = stream_with("3k", &ok, &set).unwrap_err();
+        assert!(err.contains("unknown preset '3k'"), "{err}");
+    }
+
+    #[test]
+    fn stream_is_deterministic_with_fixed_profiles() {
+        let set = toy_profiles();
+        let wl = default_workload();
+        let a = tenancy_csv(&stream_with("1k", &wl, &set).unwrap());
+        let b = tenancy_csv(&stream_with("1k", &wl, &set).unwrap());
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 1 + wl.jobs);
+    }
+
+    #[test]
+    fn profiles_are_exact_and_streams_pack() {
+        let ctx = small_ctx();
+        let set = profiles(&ctx).unwrap();
+        assert_eq!(set.len(), TENANCY_APPS.len() * 2);
+        assert!(models_exact(&set), "solo reruns must reproduce models");
+        for ((app, driver), p) in &set {
+            assert!(
+                !p.profile.iterations.is_empty(),
+                "{app}/{driver}: empty profile"
+            );
+            p.profile.validate().unwrap();
+        }
+        let s = section(&ctx).unwrap();
+        assert!(s.exact_models);
+        assert_eq!(s.mixed.rows.len(), default_workload().jobs);
+        assert!(s.ic_p99_tt_quality_s > 0.0);
+        assert!(s.pic_p99_tt_quality_s > 0.0);
+        // JSON embeds the summary keys the regress gate bands on.
+        let j = section_json(&s, 2);
+        assert!(j.contains("\"packing_x\""));
+        assert!(j.contains("\"p99_tt_quality_s\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

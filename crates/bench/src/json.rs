@@ -578,4 +578,31 @@ mod tests {
         };
         assert_eq!(apps[0].get("app").unwrap().as_str(), Some("kmeans"));
     }
+
+    #[test]
+    fn tenancy_keys_fall_in_the_right_bands() {
+        // The schema-v5 tenancy section introduces no new band rules:
+        // percentile seconds and packing ratios land in the relative-
+        // epsilon band by suffix, counters and flags stay exact.
+        for key in [
+            "p99_tt_quality_s",
+            "p50_queue_delay_s",
+            "contention_s",
+            "packing_x",
+            "makespan_s",
+        ] {
+            assert!(is_toleranced(key), "{key} must be banded");
+            assert_eq!(band_multiplier(key), 1.0, "{key} gets the base band");
+        }
+        for key in ["jobs", "preemption_total", "granted_nodes", "cluster_nodes"] {
+            assert!(!is_toleranced(key), "{key} must compare exactly");
+        }
+        // End to end: a within-band drift of a tenancy percentile passes,
+        // an exact-gated counter drift does not.
+        let a = obj(r#"{"p99_tt_quality_s": 120.0, "preemption_total": 3}"#);
+        let near = obj(r#"{"p99_tt_quality_s": 120.00000001, "preemption_total": 3}"#);
+        assert!(diff(&a, &near, 1e-9).is_empty());
+        let bumped = obj(r#"{"p99_tt_quality_s": 120.0, "preemption_total": 4}"#);
+        assert_eq!(diff(&a, &bumped, 1e-9).len(), 1);
+    }
 }

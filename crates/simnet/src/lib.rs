@@ -31,6 +31,11 @@
 //!   and slot-pool series against [`ClusterSpec`] capacities, bisection
 //!   saturated-seconds, and compute↔comms overlap
 //!   ([`UtilizationReport`]).
+//! * [`tenancy`] — multi-tenant job streams: a seeded Poisson-ish
+//!   workload generator over 1k–10k-node presets and a cluster-level
+//!   scheduler ([`ClusterScheduler`]) with FIFO admission, weighted fair
+//!   node grants and best-effort preemption, reported as per-job
+//!   time-to-quality percentiles ([`TenancyReport`]).
 //!
 //! Real computation happens elsewhere (the `pic-mapreduce` engine runs map
 //! and reduce functions for real on a rayon pool); this crate only answers
@@ -44,6 +49,7 @@ pub mod clock;
 pub mod event;
 pub mod report;
 pub mod scheduler;
+pub mod tenancy;
 pub mod timeline;
 pub mod topology;
 pub mod trace;
@@ -54,8 +60,13 @@ pub use chaos::{ChaosInjector, FaultEvent, FaultPlan};
 pub use clock::SimClock;
 pub use report::{
     CriticalPath, CriticalSegment, IterationRollup, PerfReport, QualityPoint, QualityReport,
+    TenancyReport, TenancyRow,
 };
 pub use scheduler::{ScheduleOutcome, SlotScheduler, TaskLaunch, TaskSpec};
+pub use tenancy::{
+    ClusterScheduler, DriverMix, IterKind, IterationDemand, JobArrival, JobProfile, TenancyJob,
+    WorkloadSpec,
+};
 pub use timeline::{LinkClass, LinkSeries, Saturation, SlotSeries, UtilizationReport};
 pub use topology::{ClusterSpec, NodeId, RackId};
 pub use trace::{CounterTrack, MetricsRegistry, Payload, Trace, Tracer};

@@ -34,8 +34,10 @@ use std::fmt::Write as _;
 /// change (see DESIGN.md §9 for the policy). Version 2 added the per-app
 /// `quality` section (DESIGN.md §10); version 3 added the per-app
 /// `utilization` section (DESIGN.md §11); version 4 added the top-level
-/// `quality_under_failure` campaign matrix (DESIGN.md §12).
-pub const REPORT_SCHEMA_VERSION: u64 = 4;
+/// `quality_under_failure` campaign matrix (DESIGN.md §12); version 5
+/// added the top-level `tenancy` section — multi-tenant p50/p95/p99
+/// time-to-quality and packing density (DESIGN.md §13).
+pub const REPORT_SCHEMA_VERSION: u64 = 5;
 
 /// Span categories that mark one driver-level iteration; traffic is
 /// attributed to the nearest enclosing span with one of these cats.
@@ -331,8 +333,8 @@ impl PhaseStats {
         PhaseStats {
             count: durations.len(),
             total_s: durations.iter().sum(),
-            p50_s: percentile(durations, 50.0),
-            p95_s: percentile(durations, 95.0),
+            p50_s: nearest_rank(durations, 50.0),
+            p95_s: nearest_rank(durations, 95.0),
             max_s: durations.last().copied().unwrap_or(0.0),
         }
     }
@@ -860,6 +862,184 @@ impl QualityReport {
     }
 }
 
+/// Per-job outcome of one multi-tenant stream (see `tenancy` module):
+/// when the job arrived, queued, ran and reached its solo-run quality
+/// target, plus how much of its bisection traffic overlapped other
+/// tenants'.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenancyRow {
+    /// Job id in arrival order.
+    pub id: usize,
+    /// Application name (e.g. `kmeans`).
+    pub app: String,
+    /// Driver: `ic` or `pic`.
+    pub driver: String,
+    /// Simulated arrival time.
+    pub arrival_s: f64,
+    /// First admission time (equals `arrival_s` when no queueing).
+    pub admitted_s: f64,
+    /// Completion time of the job's last iteration.
+    pub finish_s: f64,
+    /// Total time spent queued (arrival→admission plus any
+    /// preemption→re-admission waits).
+    pub queue_delay_s: f64,
+    /// Arrival→(iteration that reached the solo run's within-5% error
+    /// target); the stream-level time-to-quality.
+    pub tt_quality_s: f64,
+    /// Seconds of this job's bisection transfer windows that overlapped
+    /// at least one other tenant's window.
+    pub contention_s: f64,
+    /// Nodes the job asked for.
+    pub requested_nodes: usize,
+    /// Nodes the weighted-fair admission actually granted (last grant).
+    pub granted_nodes: usize,
+    /// Times this job's best-effort iteration was preempted.
+    pub preemptions: usize,
+}
+
+/// Aggregate telemetry for one multi-tenant job stream: nearest-rank
+/// p50/p95/p99 time-to-quality, queueing delay, and cross-job bisection
+/// contention, plus the per-job rows. Exported as the schema-v5 `tenancy`
+/// BENCH section (DESIGN.md §13).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenancyReport {
+    /// Topology preset name the stream ran against (e.g. `1k`).
+    pub preset: String,
+    /// Node count of that preset.
+    pub cluster_nodes: usize,
+    /// Per-job rows in arrival order.
+    pub rows: Vec<TenancyRow>,
+    /// Completion time of the last job.
+    pub makespan_s: f64,
+}
+
+impl TenancyReport {
+    fn sorted(vals: impl Iterator<Item = f64>) -> Vec<f64> {
+        let mut v: Vec<f64> = vals.collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("tenancy metrics are never NaN"));
+        v
+    }
+
+    /// Nearest-rank percentile of per-job time-to-quality.
+    pub fn tt_quality_percentile(&self, p: f64) -> f64 {
+        nearest_rank(&Self::sorted(self.rows.iter().map(|r| r.tt_quality_s)), p)
+    }
+
+    /// Nearest-rank percentile of per-job queueing delay.
+    pub fn queue_delay_percentile(&self, p: f64) -> f64 {
+        nearest_rank(&Self::sorted(self.rows.iter().map(|r| r.queue_delay_s)), p)
+    }
+
+    /// Total bisection-overlap seconds across jobs.
+    pub fn contention_total_s(&self) -> f64 {
+        self.rows.iter().map(|r| r.contention_s).sum()
+    }
+
+    /// Total best-effort preemptions across jobs.
+    pub fn preemption_total(&self) -> usize {
+        self.rows.iter().map(|r| r.preemptions).sum()
+    }
+
+    /// Stable JSON (summary percentiles + per-job rows); byte-identical
+    /// across rayon pool widths because every field is simulated.
+    pub fn to_json(&self, indent: usize) -> String {
+        let mut w = JsonWriter::new(indent);
+        w.open("{");
+        w.field("preset", &json_string(&self.preset));
+        w.field("cluster_nodes", &self.cluster_nodes.to_string());
+        w.field("jobs", &self.rows.len().to_string());
+        w.field("makespan_s", &fmt_f64(self.makespan_s));
+        w.field(
+            "p50_tt_quality_s",
+            &fmt_f64(self.tt_quality_percentile(50.0)),
+        );
+        w.field(
+            "p95_tt_quality_s",
+            &fmt_f64(self.tt_quality_percentile(95.0)),
+        );
+        w.field(
+            "p99_tt_quality_s",
+            &fmt_f64(self.tt_quality_percentile(99.0)),
+        );
+        w.field(
+            "p50_queue_delay_s",
+            &fmt_f64(self.queue_delay_percentile(50.0)),
+        );
+        w.field(
+            "p99_queue_delay_s",
+            &fmt_f64(self.queue_delay_percentile(99.0)),
+        );
+        w.field("contention_s", &fmt_f64(self.contention_total_s()));
+        w.field("preemption_total", &self.preemption_total().to_string());
+        w.open_key("per_job", "[");
+        for r in &self.rows {
+            w.open("{");
+            w.field("id", &r.id.to_string());
+            w.field("app", &json_string(&r.app));
+            w.field("driver", &json_string(&r.driver));
+            w.field("arrival_s", &fmt_f64(r.arrival_s));
+            w.field("admitted_s", &fmt_f64(r.admitted_s));
+            w.field("finish_s", &fmt_f64(r.finish_s));
+            w.field("queue_delay_s", &fmt_f64(r.queue_delay_s));
+            w.field("tt_quality_s", &fmt_f64(r.tt_quality_s));
+            w.field("contention_s", &fmt_f64(r.contention_s));
+            w.field("requested_nodes", &r.requested_nodes.to_string());
+            w.field("granted_nodes", &r.granted_nodes.to_string());
+            w.field("preemptions", &r.preemptions.to_string());
+            w.close("}");
+        }
+        w.close("]");
+        w.close("}");
+        w.finish()
+    }
+
+    /// CSV header matching [`TenancyReport::csv_rows`].
+    pub fn csv_header() -> &'static str {
+        "id,app,driver,arrival_s,admitted_s,finish_s,queue_delay_s,tt_quality_s,contention_s,requested_nodes,granted_nodes,preemptions"
+    }
+
+    /// One CSV line per job, arrival order.
+    pub fn csv_rows(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{}",
+                r.id,
+                r.app,
+                r.driver,
+                fmt_f64(r.arrival_s),
+                fmt_f64(r.admitted_s),
+                fmt_f64(r.finish_s),
+                fmt_f64(r.queue_delay_s),
+                fmt_f64(r.tt_quality_s),
+                fmt_f64(r.contention_s),
+                r.requested_nodes,
+                r.granted_nodes,
+                r.preemptions,
+            );
+        }
+        out
+    }
+
+    /// Short human summary (the `pic tenancy` table renders the rows).
+    pub fn render(&self) -> String {
+        format!(
+            "tenancy {} ({} nodes): {} jobs, makespan {:.1}s, tt-quality p50/p95/p99 = {:.1}/{:.1}/{:.1}s, queue p99 {:.1}s, contention {:.1}s, {} preemptions",
+            self.preset,
+            self.cluster_nodes,
+            self.rows.len(),
+            self.makespan_s,
+            self.tt_quality_percentile(50.0),
+            self.tt_quality_percentile(95.0),
+            self.tt_quality_percentile(99.0),
+            self.queue_delay_percentile(99.0),
+            self.contention_total_s(),
+            self.preemption_total(),
+        )
+    }
+}
+
 /// Emit a [`TrafficSnapshot`] as a JSON object keyed by class label,
 /// plus the two Table-II totals.
 fn write_snapshot(w: &mut JsonWriter, key: &str, snap: &TrafficSnapshot) {
@@ -873,7 +1053,12 @@ fn write_snapshot(w: &mut JsonWriter, key: &str, snap: &TrafficSnapshot) {
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+///
+/// This is the single percentile definition shared by [`PerfReport`]
+/// (per-phase p50/p95) and [`TenancyReport`] (per-stream p50/p95/p99):
+/// `rank = ceil(p/100 * n)`, clamped into `1..=n`. An empty slice yields
+/// `0.0`; a single sample is every percentile of itself.
+pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -1098,11 +1283,30 @@ mod tests {
     #[test]
     fn percentiles_nearest_rank() {
         let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&v, 50.0), 2.0);
-        assert_eq!(percentile(&v, 95.0), 4.0);
-        assert_eq!(percentile(&v, 100.0), 4.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
-        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(nearest_rank(&v, 50.0), 2.0);
+        assert_eq!(nearest_rank(&v, 95.0), 4.0);
+        assert_eq!(nearest_rank(&v, 100.0), 4.0);
+        assert_eq!(nearest_rank(&[], 50.0), 0.0);
+        assert_eq!(nearest_rank(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // 0-sample: every percentile is the 0.0 sentinel.
+        assert_eq!(nearest_rank(&[], 99.0), 0.0);
+        // 1-sample: every percentile is that sample, including extremes.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(nearest_rank(&[7.5], p), 7.5);
+        }
+        // p99 on small n rounds up to the max (nearest-rank, not interp).
+        assert_eq!(nearest_rank(&[1.0, 2.0], 99.0), 2.0);
+        assert_eq!(nearest_rank(&[1.0, 2.0, 3.0], 99.0), 3.0);
+        // p0 clamps to the first sample rather than underflowing.
+        assert_eq!(nearest_rank(&[1.0, 2.0, 3.0], 0.0), 1.0);
+        // Exactly at a rank boundary: ceil keeps nearest-rank semantics.
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(nearest_rank(&v, 99.0), 99.0);
+        assert_eq!(nearest_rank(&v, 50.0), 50.0);
     }
 
     #[test]
@@ -1288,7 +1492,7 @@ mod tests {
         assert_eq!(a, b, "rendering twice must be identical");
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
-        assert!(a.contains("\"schema_version\": 4"));
+        assert!(a.contains("\"schema_version\": 5"));
         assert!(a.contains("\"total_s\": 10"));
         assert!(a.contains("\"phase/a\""));
         assert!(

@@ -1,0 +1,155 @@
+//! Negative-path coverage for the tenancy layer, alongside
+//! `chaos_negative.rs`: every workload-spec rejection string is violated
+//! on purpose and pinned, so a refactor of the validator cannot silently
+//! turn it into a no-op.
+
+use pic_simnet::tenancy::{preset, DriverMix, WorkloadSpec};
+use pic_simnet::ClusterSpec;
+
+const KNOWN: [&str; 3] = ["kmeans", "linsolve", "smoothing"];
+
+fn ok_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        jobs: 4,
+        arrival_per_s: 0.05,
+        mix: vec![("kmeans".to_string(), 1.0)],
+        drivers: DriverMix::Mixed,
+        scales: vec![8],
+        seed: 1,
+    }
+}
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::medium()
+}
+
+#[test]
+fn valid_spec_passes() {
+    ok_spec().validate(&KNOWN, &cluster()).unwrap();
+}
+
+#[test]
+fn zero_jobs_rejected() {
+    let spec = WorkloadSpec {
+        jobs: 0,
+        ..ok_spec()
+    };
+    assert_eq!(
+        spec.validate(&KNOWN, &cluster()).unwrap_err(),
+        "workload must have at least one job"
+    );
+}
+
+#[test]
+fn unknown_app_in_mix_names_the_valid_set() {
+    let spec = WorkloadSpec {
+        mix: vec![("kmeans".to_string(), 1.0), ("pagerank".to_string(), 1.0)],
+        ..ok_spec()
+    };
+    let err = spec.validate(&KNOWN, &cluster()).unwrap_err();
+    assert!(err.contains("unknown app 'pagerank' in mix"), "{err}");
+    for a in KNOWN {
+        assert!(err.contains(a), "error must name {a}: {err}");
+    }
+}
+
+#[test]
+fn non_positive_arrival_rate_rejected() {
+    for rate in [0.0, -1.0, f64::NAN] {
+        let spec = WorkloadSpec {
+            arrival_per_s: rate,
+            ..ok_spec()
+        };
+        let err = spec.validate(&KNOWN, &cluster()).unwrap_err();
+        assert!(
+            err.starts_with("arrival rate must be positive (got "),
+            "{err}"
+        );
+    }
+    let spec = WorkloadSpec {
+        arrival_per_s: 0.0,
+        ..ok_spec()
+    };
+    assert_eq!(
+        spec.validate(&KNOWN, &cluster()).unwrap_err(),
+        "arrival rate must be positive (got 0)"
+    );
+}
+
+#[test]
+fn scale_over_topology_capacity_rejected() {
+    let c = cluster();
+    let spec = WorkloadSpec {
+        scales: vec![8, c.nodes + 1],
+        ..ok_spec()
+    };
+    assert_eq!(
+        spec.validate(&KNOWN, &c).unwrap_err(),
+        format!(
+            "job scale {} exceeds topology capacity ({} nodes)",
+            c.nodes + 1,
+            c.nodes
+        )
+    );
+}
+
+#[test]
+fn zero_scale_rejected() {
+    let spec = WorkloadSpec {
+        scales: vec![0],
+        ..ok_spec()
+    };
+    assert_eq!(
+        spec.validate(&KNOWN, &cluster()).unwrap_err(),
+        "job scale must be > 0 nodes"
+    );
+}
+
+#[test]
+fn empty_mix_and_empty_scales_rejected() {
+    let spec = WorkloadSpec {
+        mix: Vec::new(),
+        ..ok_spec()
+    };
+    assert_eq!(
+        spec.validate(&KNOWN, &cluster()).unwrap_err(),
+        "mix must name at least one app"
+    );
+    let spec = WorkloadSpec {
+        scales: Vec::new(),
+        ..ok_spec()
+    };
+    assert_eq!(
+        spec.validate(&KNOWN, &cluster()).unwrap_err(),
+        "scales must name at least one node count"
+    );
+}
+
+#[test]
+fn non_positive_mix_weight_rejected() {
+    for w in [0.0, -2.0] {
+        let spec = WorkloadSpec {
+            mix: vec![("kmeans".to_string(), w)],
+            ..ok_spec()
+        };
+        let err = spec.validate(&KNOWN, &cluster()).unwrap_err();
+        assert!(
+            err.starts_with("mix weight for 'kmeans' must be positive"),
+            "{err}"
+        );
+    }
+}
+
+#[test]
+fn unknown_preset_and_driver_mix_name_the_valid_sets() {
+    let err = preset("huge").unwrap_err();
+    assert!(err.contains("unknown preset 'huge'"), "{err}");
+    for p in pic_simnet::tenancy::PRESETS {
+        assert!(err.contains(p), "error must name {p}: {err}");
+    }
+    let err = DriverMix::parse("both").unwrap_err();
+    assert!(err.contains("unknown driver mix 'both'"), "{err}");
+    for d in ["mixed", "ic", "pic"] {
+        assert!(err.contains(d), "error must name {d}: {err}");
+    }
+}
