@@ -95,5 +95,52 @@ fn bench_wide_shuffle(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_wide_shuffle);
+/// The DESIGN.md §14 host profiler's cost contract: disabled (the
+/// default), the scopes threaded through the engine are one relaxed
+/// atomic load each, so the same job benches identically with the
+/// instrumentation compiled in; enabled, the overhead stays a small
+/// constant per stage scope.
+fn bench_hostprof_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hostprof_overhead");
+    g.sample_size(10);
+
+    let n = 100_000usize;
+    let engine = Engine::untraced(ClusterSpec::small());
+    let data = Dataset::create(&engine, "/b/prof", (0..n as u64).collect(), 24);
+    let mapper = FnMapper::new(|x: &u64, ctx: &mut MapContext<u64, u64>| {
+        ctx.emit(*x % 1000, 1);
+    });
+    let reducer = FnReducer::new(|k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+        ctx.emit((*k, vs.iter().sum()));
+    });
+
+    pic_simnet::hostprof::reset();
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            engine
+                .run(&analytic("jp"), &data, &mapper, &reducer)
+                .stats
+                .output_records
+        });
+    });
+    pic_simnet::hostprof::enable();
+    g.bench_function("enabled", |b| {
+        b.iter(|| {
+            engine
+                .run(&analytic("jp"), &data, &mapper, &reducer)
+                .stats
+                .output_records
+        });
+    });
+    pic_simnet::hostprof::disable();
+    pic_simnet::hostprof::reset();
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_wide_shuffle,
+    bench_hostprof_overhead
+);
 criterion_main!(benches);

@@ -13,7 +13,19 @@
 //!
 //! `--check` exits non-zero unless the calendar queue beats the heap at
 //! every population of 1k+ jobs — the CI wiring for the tentpole claim.
+//!
+//! The binary also owns the host-performance trend file `BENCH_host.csv`
+//! (DESIGN.md §14). Host mode replaces the hold model: it runs the fixed
+//! profiling workload `--host-reps` times, reduces to per-stage medians
+//! and shares, and either writes the trend file or gates a fresh run
+//! against the committed one:
+//!
+//! ```text
+//! event_bench --host-csv BENCH_host.csv              # regenerate baseline
+//! event_bench --host-check BENCH_host.csv            # CI gate
+//! ```
 
+use pic_bench::host_trend;
 use pic_simnet::event::{EventQueue, HeapQueue};
 
 /// SplitMix64: deterministic hold increments without RNG setup cost.
@@ -56,6 +68,11 @@ struct Flags {
     jobs: Vec<usize>,
     out: Option<String>,
     check: bool,
+    host_csv: Option<String>,
+    host_check: Option<String>,
+    host_reps: usize,
+    host_scale: f64,
+    host_band: f64,
 }
 
 fn usage(err: &str) -> ! {
@@ -68,7 +85,14 @@ fn usage(err: &str) -> ! {
          BinaryHeap baseline. --events is the total operations per run\n\
          (default 1000000); --jobs the concurrent-event populations\n\
          (default 1024,4096,16384); --out appends/writes the CSV trend file;\n\
-         --check exits 1 unless the calendar queue wins at every 1k+ population."
+         --check exits 1 unless the calendar queue wins at every 1k+ population.\n\n\
+         Host-trend mode (replaces the hold model when requested):\n\
+         --host-csv <path> profiles the fixed workload and writes the\n\
+         per-stage trend file; --host-check <path> gates a fresh profile\n\
+         against the committed baseline (calls/bytes exact, time shares\n\
+         within --host-band, default 0.25 absolute); --host-reps (default 5)\n\
+         repetitions behind the medians; --host-scale (default 0.02) the\n\
+         workload scale."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -79,6 +103,11 @@ fn parse_flags() -> Flags {
         jobs: vec![1_024, 4_096, 16_384],
         out: None,
         check: false,
+        host_csv: None,
+        host_check: None,
+        host_reps: host_trend::DEFAULT_REPS,
+        host_scale: host_trend::TREND_SCALE,
+        host_band: host_trend::SHARE_BAND,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -107,6 +136,32 @@ fn parse_flags() -> Flags {
             }
             "--out" => flags.out = Some(take(&mut i)),
             "--check" => flags.check = true,
+            "--host-csv" => flags.host_csv = Some(take(&mut i)),
+            "--host-check" => flags.host_check = Some(take(&mut i)),
+            "--host-reps" => {
+                flags.host_reps = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--host-reps"));
+                if flags.host_reps == 0 {
+                    usage("--host-reps must be positive");
+                }
+            }
+            "--host-scale" => {
+                flags.host_scale = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--host-scale"));
+                if !(flags.host_scale > 0.0) {
+                    usage("--host-scale must be positive");
+                }
+            }
+            "--host-band" => {
+                flags.host_band = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--host-band"));
+                if !(flags.host_band > 0.0) {
+                    usage("--host-band must be positive");
+                }
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
         }
@@ -115,8 +170,68 @@ fn parse_flags() -> Flags {
     flags
 }
 
+/// Host-trend mode: measure, print, then write and/or gate.
+fn run_host_mode(flags: &Flags) -> ! {
+    let rows = host_trend::measure(flags.host_scale, flags.host_reps).unwrap_or_else(|e| {
+        eprintln!("[event_bench] host profile failed: {e}");
+        std::process::exit(2);
+    });
+    for r in &rows {
+        println!(
+            "{:<24} calls {:>8} bytes {:>12} median {:>10.6}s share {:>5.1}%",
+            r.stage,
+            r.calls,
+            r.bytes,
+            r.median_total_s,
+            100.0 * r.share
+        );
+    }
+
+    if let Some(path) = &flags.host_csv {
+        std::fs::write(path, host_trend::to_csv(&rows)).unwrap_or_else(|e| {
+            eprintln!("[event_bench] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[event_bench] wrote host trend to {path}");
+    }
+
+    if let Some(path) = &flags.host_check {
+        let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!(
+                "[event_bench] cannot read baseline {path}: {e}\n\
+                 [event_bench] generate it with: event_bench --host-csv {path}"
+            );
+            std::process::exit(2);
+        });
+        let baseline = host_trend::from_csv(&doc).unwrap_or_else(|e| {
+            eprintln!("[event_bench] baseline {path} is malformed: {e}");
+            std::process::exit(2);
+        });
+        let errs = host_trend::check(&baseline, &rows, flags.host_band);
+        if !errs.is_empty() {
+            eprintln!(
+                "[event_bench] FAIL: {} host-trend violation(s) against {path}:",
+                errs.len()
+            );
+            for e in &errs {
+                eprintln!("[event_bench]   {e}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[event_bench] PASS: host profile matches {path} \
+             (calls/bytes exact, shares within {})",
+            flags.host_band
+        );
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let flags = parse_flags();
+    if flags.host_csv.is_some() || flags.host_check.is_some() {
+        run_host_mode(&flags);
+    }
     let mut csv = String::from("events,jobs,heap_ns_per_op,calendar_ns_per_op,speedup_x\n");
     let mut losses = 0usize;
 

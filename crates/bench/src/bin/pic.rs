@@ -132,6 +132,8 @@ fn usage(err: &str) -> ! {
            --csv <path>         write the per-app convergence curves as CSV\n\
            --util-csv <path>    write the utilization/occupancy series as CSV\n\
            --chaos-csv <path>   write the quality-under-failure campaign as CSV\n\
+           --profile-host       record host-side stage timings (DESIGN.md §14);\n\
+                                prints the table and embeds host_profile in --json\n\
          \n\
          usage: pic timeline [flags] — utilization heatmaps, IC vs PIC (DESIGN.md §11)\n\
          \n\
@@ -159,7 +161,15 @@ fn usage(err: &str) -> ! {
            --scales <n,n,..>    node counts jobs request (default 64,128,256)\n\
            --seed <s>           stream seed (default 0x7E4A)\n\
            --scale <f>          profile-run workload scale multiplier (default 1.0)\n\
-           --csv <path>         write the per-job rows as CSV"
+           --csv <path>         write the per-job rows as CSV\n\
+           --list-presets       print the valid topology presets and exit\n\
+         \n\
+         usage: pic diff <old.json> <new.json> [flags] — attribute a perf delta\n\
+         \n\
+         flags:\n\
+           --epsilon <e>        relative tolerance for simulated seconds (default 1e-9)\n\
+           --top <n>            rows in the ranked segment table (default 15)\n\
+           --json <path>        write the machine-readable attribution here"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -177,6 +187,7 @@ fn run_report(argv: &[String]) -> ! {
     let mut csv_path: Option<String> = None;
     let mut util_csv_path: Option<String> = None;
     let mut chaos_csv_path: Option<String> = None;
+    let mut profile_host = false;
 
     let mut i = 0;
     while i < argv.len() {
@@ -211,12 +222,17 @@ fn run_report(argv: &[String]) -> ! {
             "--csv" => csv_path = Some(take(&mut i)),
             "--util-csv" => util_csv_path = Some(take(&mut i)),
             "--chaos-csv" => chaos_csv_path = Some(take(&mut i)),
+            "--profile-host" => profile_host = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
         }
         i += 1;
     }
 
+    if profile_host {
+        pic_simnet::hostprof::reset();
+        pic_simnet::hostprof::enable();
+    }
     let app_refs: Vec<&str> = apps.iter().map(String::as_str).collect();
     let runs = perf::collect(&ctx, &app_refs).unwrap_or_else(|e| usage(&e));
 
@@ -226,6 +242,14 @@ fn run_report(argv: &[String]) -> ! {
         chaos::campaign(&ctx, &chaos::SCENARIOS).unwrap_or_else(|e| usage(&e))
     } else {
         Vec::new()
+    };
+    let host_profile = if profile_host {
+        pic_simnet::hostprof::disable();
+        let p = pic_simnet::hostprof::snapshot();
+        println!("{}", p.render());
+        Some(p)
+    } else {
+        None
     };
 
     for run in &runs {
@@ -295,7 +319,13 @@ fn run_report(argv: &[String]) -> ! {
         // The multi-tenant packing section rides along only when the
         // JSON artifact is requested — it pays for 12 solo profile runs.
         let tenancy_section = tenancy::section(&ctx).unwrap_or_else(|e| usage(&e));
-        let doc = perf::bench_json(&ctx, &runs, &cells, Some(&tenancy_section));
+        let doc = perf::bench_json(
+            &ctx,
+            &runs,
+            &cells,
+            Some(&tenancy_section),
+            host_profile.as_ref(),
+        );
         std::fs::write(path, &doc).unwrap_or_else(|e| {
             eprintln!("[pic report] cannot write {path}: {e}");
             std::process::exit(2);
@@ -479,6 +509,12 @@ fn run_tenancy(argv: &[String]) -> ! {
                 .clone()
         };
         match argv[i].as_str() {
+            "--list-presets" => {
+                for p in pic_simnet::tenancy::PRESETS {
+                    println!("{p}");
+                }
+                std::process::exit(0);
+            }
             "--preset" => preset_name = take(&mut i),
             "--jobs" => wl.jobs = take(&mut i).parse().unwrap_or_else(|_| usage("--jobs")),
             "--arrival" => {
@@ -553,6 +589,66 @@ fn run_tenancy(argv: &[String]) -> ! {
         eprintln!("[pic tenancy] wrote {path} ({} bytes)", doc.len());
     }
     std::process::exit(0);
+}
+
+/// `pic diff`: attribute the difference between two BENCH_pic.json
+/// documents (DESIGN.md §14). Exits 0 when nothing simulated moved,
+/// 1 when deltas were attributed, 2 on unusable inputs.
+fn run_diff(argv: &[String]) -> ! {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut epsilon = 1e-9f64;
+    let mut top = 15usize;
+    let mut json_out: Option<String> = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| usage("flag needs a value"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--epsilon" => {
+                epsilon = take(&mut i).parse().unwrap_or_else(|_| usage("--epsilon"));
+            }
+            "--top" => top = take(&mut i).parse().unwrap_or_else(|_| usage("--top")),
+            "--json" => json_out = Some(take(&mut i)),
+            "--help" | "-h" => usage(""),
+            flag if flag.starts_with("--") => usage(&format!("unknown flag '{flag}'")),
+            _ => paths.push(&argv[i]),
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = paths[..] else {
+        usage("pic diff wants exactly two report paths: <old.json> <new.json>");
+    };
+
+    let load = |path: &String| -> pic_bench::json::Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("[pic diff] cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        pic_bench::json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("[pic diff] {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (old, new) = (load(old_path), load(new_path));
+    let report = pic_bench::diff::diff_docs(&old, &new, epsilon).unwrap_or_else(|e| {
+        eprintln!("[pic diff] {e}");
+        std::process::exit(2);
+    });
+    print!("{}", report.render(top));
+
+    if let Some(path) = &json_out {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("[pic diff] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[pic diff] wrote {path}");
+    }
+    std::process::exit(if report.is_empty() { 0 } else { 1 });
 }
 
 /// Run one app through both drivers and print the comparison.
@@ -645,6 +741,7 @@ fn main() {
         Some("timeline") => run_timeline(&argv[1..]),
         Some("chaos") => run_chaos(&argv[1..]),
         Some("tenancy") => run_tenancy(&argv[1..]),
+        Some("diff") => run_diff(&argv[1..]),
         Some("--list-apps") => {
             for app in perf::APPS {
                 println!("{app}");

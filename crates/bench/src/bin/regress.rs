@@ -34,6 +34,7 @@ struct Flags {
     util_csv: Option<String>,
     chaos_csv: Option<String>,
     tenancy_csv: Option<String>,
+    profile_host: bool,
 }
 
 fn usage(err: &str) -> ! {
@@ -53,6 +54,8 @@ fn usage(err: &str) -> ! {
          writes the convergence curves as CSV; --util-csv the utilization\n\
          series; --chaos-csv the quality-under-failure campaign cells;\n\
          --tenancy-csv the per-job rows of the mixed tenancy stream.\n\
+         --profile-host records host-side stage timings around the suite\n\
+         and embeds them as the (gate-ignored) host_profile section.\n\
          Defaults: --baseline BENCH_pic.json --scale 0.05\n\
          --out target/BENCH_pic.fresh.json --epsilon 1e-9"
     );
@@ -70,6 +73,7 @@ fn parse_flags() -> Flags {
         util_csv: None,
         chaos_csv: None,
         tenancy_csv: None,
+        profile_host: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -97,6 +101,7 @@ fn parse_flags() -> Flags {
             "--chaos-csv" => flags.chaos_csv = Some(take(&mut i)),
             "--tenancy-csv" => flags.tenancy_csv = Some(take(&mut i)),
             "--update" => flags.update = true,
+            "--profile-host" => flags.profile_host = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
         }
@@ -110,11 +115,27 @@ fn main() {
     let ctx = ExperimentCtx { scale: flags.scale };
 
     let t0 = std::time::Instant::now();
+    if flags.profile_host {
+        pic_simnet::hostprof::reset();
+        pic_simnet::hostprof::enable();
+    }
     let app_refs: Vec<&str> = perf::APPS.to_vec();
     let runs = perf::collect(&ctx, &app_refs).unwrap_or_else(|e| usage(&e));
     let cells = chaos::campaign(&ctx, &chaos::SCENARIOS).unwrap_or_else(|e| usage(&e));
     let tenancy_section = tenancy::section(&ctx).unwrap_or_else(|e| usage(&e));
-    let fresh_text = perf::bench_json(&ctx, &runs, &cells, Some(&tenancy_section));
+    let host_profile = if flags.profile_host {
+        pic_simnet::hostprof::disable();
+        Some(pic_simnet::hostprof::snapshot())
+    } else {
+        None
+    };
+    let fresh_text = perf::bench_json(
+        &ctx,
+        &runs,
+        &cells,
+        Some(&tenancy_section),
+        host_profile.as_ref(),
+    );
     eprintln!(
         "[regress] suite ran in {:.1}s (host time) at scale {}",
         t0.elapsed().as_secs_f64(),

@@ -1,0 +1,701 @@
+//! `pic diff` — differential regression attribution between two
+//! `BENCH_pic.json` documents.
+//!
+//! Where the regression gate (`json::diff`) answers *whether* two reports
+//! differ, this module answers *where the time went*: per-app simulated
+//! seconds along the critical-path categories and per-phase rollups,
+//! byte deltas by traffic class, the first point at which the
+//! convergence curves diverge, and — when both documents carry a
+//! `host_profile` section — host-side stage deltas. Results come back
+//! ranked (most-regressing segment first) for the CLI table and as a
+//! machine-readable JSON document for tooling.
+
+use crate::json::Json;
+use crate::table::Table;
+use pic_simnet::report::fmt_f64;
+use std::fmt::Write as _;
+
+/// One attributed delta along a single axis of the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaEntry {
+    /// App the segment belongs to (empty for suite-level host stages).
+    pub app: String,
+    /// Attribution axis: `total`, `critical-path`, `phase`, `traffic`,
+    /// or `host-stage`.
+    pub axis: &'static str,
+    /// Driver side (`ic` / `pic`), empty when the axis has no side.
+    pub side: String,
+    /// Segment label within the axis (category, phase, class, stage).
+    pub label: String,
+    /// Baseline value (seconds or bytes depending on the axis).
+    pub old: f64,
+    /// Fresh value.
+    pub new: f64,
+}
+
+impl DeltaEntry {
+    /// Signed change, positive when the fresh run regressed (grew).
+    pub fn delta(&self) -> f64 {
+        self.new - self.old
+    }
+
+    /// Human-readable segment path, e.g. `kmeans/pic/phase:solve`.
+    pub fn segment(&self) -> String {
+        let mut s = String::new();
+        if !self.app.is_empty() {
+            s.push_str(&self.app);
+            s.push('/');
+        }
+        if !self.side.is_empty() {
+            s.push_str(&self.side);
+            s.push('/');
+        }
+        let _ = write!(s, "{}:{}", self.axis, self.label);
+        s
+    }
+}
+
+/// The first point at which an app's convergence curve left the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityDivergence {
+    /// App whose curve diverged.
+    pub app: String,
+    /// Which driver's curve (`ic` / `pic`).
+    pub driver: String,
+    /// Index of the first diverging point.
+    pub index: usize,
+    /// Simulated time of that point (baseline side).
+    pub t_s: f64,
+    /// Baseline error at the point (`NaN` when the point only exists on
+    /// one side because the curves have different lengths).
+    pub old_err: f64,
+    /// Fresh error at the point (`NaN` when missing, as above).
+    pub new_err: f64,
+}
+
+/// Full attribution between two reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Simulated-seconds deltas (totals, critical-path categories,
+    /// phase rollups), sorted most-regressing first.
+    pub time: Vec<DeltaEntry>,
+    /// Byte deltas by traffic class, sorted by |delta| descending.
+    pub bytes: Vec<DeltaEntry>,
+    /// Host-stage wall-clock deltas; populated only when both documents
+    /// carry a non-null `host_profile` and a stage moved more than the
+    /// host noise band (these are machine-dependent, so they never
+    /// affect [`DiffReport::is_empty`]).
+    pub host: Vec<DeltaEntry>,
+    /// First divergence point per app/driver curve that moved.
+    pub divergence: Vec<QualityDivergence>,
+    /// Structural observations (apps present on one side only, scale
+    /// mismatch) that make the attribution partial.
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when nothing simulated was attributed: no time or byte
+    /// deltas, no curve divergence, and no structural notes. Host-stage
+    /// deltas are ignored — wall-clock jitter is expected between runs.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+            && self.bytes.is_empty()
+            && self.divergence.is_empty()
+            && self.notes.is_empty()
+    }
+
+    /// Render the ranked attribution tables (at most `top` rows each;
+    /// `0` means all).
+    pub fn render(&self, top: usize) -> String {
+        let cap = |n: usize| if top == 0 { n } else { n.min(top) };
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("pic diff: no attributed deltas — reports are equivalent\n");
+            if !self.host.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "(host-stage wall-clock moved on {} stage(s); simulated results identical)",
+                    self.host.len()
+                );
+            }
+            return out;
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        if !self.time.is_empty() {
+            let mut t = Table::new(["#", "segment", "old (s)", "new (s)", "delta (s)"]);
+            for (i, e) in self.time.iter().take(cap(self.time.len())).enumerate() {
+                t.row([
+                    (i + 1).to_string(),
+                    e.segment(),
+                    format!("{:.6}", e.old),
+                    format!("{:.6}", e.new),
+                    format!("{:+.6}", e.delta()),
+                ]);
+            }
+            let _ = writeln!(out, "top regressing segments (simulated seconds):");
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        if !self.bytes.is_empty() {
+            let mut t = Table::new(["#", "segment", "old (B)", "new (B)", "delta (B)"]);
+            for (i, e) in self.bytes.iter().take(cap(self.bytes.len())).enumerate() {
+                t.row([
+                    (i + 1).to_string(),
+                    e.segment(),
+                    format!("{:.0}", e.old),
+                    format!("{:.0}", e.new),
+                    format!("{:+.0}", e.delta()),
+                ]);
+            }
+            let _ = writeln!(out, "traffic deltas (bytes by class):");
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for d in &self.divergence {
+            let _ = writeln!(
+                out,
+                "quality: {}/{} curves diverge at point {} (t={:.6}s): err {} -> {}",
+                d.app,
+                d.driver,
+                d.index,
+                d.t_s,
+                fmt_f64(d.old_err),
+                fmt_f64(d.new_err),
+            );
+        }
+        if !self.host.is_empty() {
+            let mut t = Table::new(["#", "stage", "old (s)", "new (s)", "delta (s)"]);
+            for (i, e) in self.host.iter().take(cap(self.host.len())).enumerate() {
+                t.row([
+                    (i + 1).to_string(),
+                    e.label.clone(),
+                    format!("{:.6}", e.old),
+                    format!("{:.6}", e.new),
+                    format!("{:+.6}", e.delta()),
+                ]);
+            }
+            let _ = writeln!(out, "host-stage deltas (wall clock, informational):");
+            out.push_str(&t.render());
+        }
+        out
+    }
+
+    /// Machine-readable attribution document.
+    pub fn to_json(&self) -> String {
+        fn entries(out: &mut String, list: &[DeltaEntry], unit: &str) {
+            out.push_str("[\n");
+            for (i, e) in list.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "    {{\"app\": \"{}\", \"axis\": \"{}\", \"side\": \"{}\", \
+                     \"label\": \"{}\", \"old_{unit}\": {}, \"new_{unit}\": {}, \
+                     \"delta_{unit}\": {}}}",
+                    e.app,
+                    e.axis,
+                    e.side,
+                    e.label,
+                    fmt_f64(e.old),
+                    fmt_f64(e.new),
+                    fmt_f64(e.delta()),
+                );
+                out.push_str(if i + 1 < list.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("  ]");
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"attributed\": {},", !self.is_empty());
+        out.push_str("  \"time_deltas\": ");
+        entries(&mut out, &self.time, "s");
+        out.push_str(",\n  \"byte_deltas\": ");
+        entries(&mut out, &self.bytes, "bytes");
+        out.push_str(",\n  \"host_deltas\": ");
+        entries(&mut out, &self.host, "s");
+        out.push_str(",\n  \"quality_divergence\": [\n");
+        for (i, d) in self.divergence.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"app\": \"{}\", \"driver\": \"{}\", \"index\": {}, \
+                 \"t_s\": {}, \"old_err\": {}, \"new_err\": {}}}",
+                d.app,
+                d.driver,
+                d.index,
+                fmt_f64(d.t_s),
+                fmt_f64(d.old_err),
+                fmt_f64(d.new_err),
+            );
+            out.push_str(if i + 1 < self.divergence.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"notes\": [");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", n.replace('"', "\\\""));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Does `(a, b)` differ beyond the relative band `eps` (floored at an
+/// absolute magnitude of 1.0, like the regression gate's tolerance)?
+fn exceeds(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() > eps * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Relative noise band for host-stage wall-clock seconds: stages are
+/// only reported when they move more than 5% — host timings jitter
+/// between runs even when the simulated work is identical.
+const HOST_BAND: f64 = 0.05;
+
+fn num(v: Option<&Json>) -> Option<f64> {
+    v.and_then(Json::as_f64)
+}
+
+/// Union of object keys across two (possibly absent) objects, first
+/// document's order first, then fresh-only keys in their own order.
+fn key_union<'a>(a: Option<&'a Json>, b: Option<&'a Json>) -> Vec<&'a str> {
+    let mut keys: Vec<&str> = Vec::new();
+    for side in [a, b] {
+        if let Some(Json::Obj(fields)) = side {
+            for (k, _) in fields {
+                if !keys.contains(&k.as_str()) {
+                    keys.push(k);
+                }
+            }
+        }
+    }
+    keys
+}
+
+/// Attribute the differences between two parsed `BENCH_pic.json`
+/// documents. `epsilon` is the relative tolerance for simulated seconds
+/// (bytes compare exactly). Errors only on documents that are not
+/// reports at all (no `apps` array).
+pub fn diff_docs(old: &Json, new: &Json, epsilon: f64) -> Result<DiffReport, String> {
+    let old_apps = match old.get("apps") {
+        Some(Json::Arr(a)) => a,
+        _ => return Err("baseline document has no 'apps' array".into()),
+    };
+    let new_apps = match new.get("apps") {
+        Some(Json::Arr(a)) => a,
+        _ => return Err("fresh document has no 'apps' array".into()),
+    };
+    let mut report = DiffReport::default();
+
+    let (os, ns) = (num(old.get("scale")), num(new.get("scale")));
+    if os != ns {
+        report.notes.push(format!(
+            "scale mismatch: {os:?} vs {ns:?} — deltas span workloads"
+        ));
+    }
+
+    let name_of = |app: &Json| app.get("app").and_then(Json::as_str).map(str::to_string);
+
+    for old_app in old_apps {
+        let Some(name) = name_of(old_app) else {
+            continue;
+        };
+        let Some(new_app) = new_apps
+            .iter()
+            .find(|a| name_of(a).as_deref() == Some(&name))
+        else {
+            report
+                .notes
+                .push(format!("app '{name}' missing from fresh report"));
+            continue;
+        };
+        diff_app(&name, old_app, new_app, epsilon, &mut report);
+    }
+    for new_app in new_apps {
+        let Some(name) = name_of(new_app) else {
+            continue;
+        };
+        if !old_apps
+            .iter()
+            .any(|a| name_of(a).as_deref() == Some(&name))
+        {
+            report
+                .notes
+                .push(format!("app '{name}' missing from baseline"));
+        }
+    }
+
+    diff_host(
+        old.get("host_profile"),
+        new.get("host_profile"),
+        &mut report,
+    );
+
+    // Most-regressing first: simulated time ranks by signed delta
+    // (growth is a regression), bytes by magnitude.
+    report
+        .time
+        .sort_by(|a, b| b.delta().partial_cmp(&a.delta()).expect("finite"));
+    report.bytes.sort_by(|a, b| {
+        b.delta()
+            .abs()
+            .partial_cmp(&a.delta().abs())
+            .expect("finite")
+    });
+    report.host.sort_by(|a, b| {
+        b.delta()
+            .abs()
+            .partial_cmp(&a.delta().abs())
+            .expect("finite")
+    });
+    Ok(report)
+}
+
+fn diff_app(name: &str, old_app: &Json, new_app: &Json, epsilon: f64, report: &mut DiffReport) {
+    for (key, side) in [("ic_total_s", "ic"), ("pic_total_s", "pic")] {
+        if let (Some(a), Some(b)) = (num(old_app.get(key)), num(new_app.get(key))) {
+            if exceeds(a, b, epsilon) {
+                report.time.push(DeltaEntry {
+                    app: name.to_string(),
+                    axis: "total",
+                    side: side.to_string(),
+                    label: "total_s".to_string(),
+                    old: a,
+                    new: b,
+                });
+            }
+        }
+    }
+
+    for side in ["ic", "pic"] {
+        let (o, n) = (old_app.get(side), new_app.get(side));
+
+        let ocp = o
+            .and_then(|v| v.get("critical_path"))
+            .and_then(|v| v.get("by_cat_s"));
+        let ncp = n
+            .and_then(|v| v.get("critical_path"))
+            .and_then(|v| v.get("by_cat_s"));
+        for cat in key_union(ocp, ncp) {
+            let a = num(ocp.and_then(|v| v.get(cat))).unwrap_or(0.0);
+            let b = num(ncp.and_then(|v| v.get(cat))).unwrap_or(0.0);
+            if exceeds(a, b, epsilon) {
+                report.time.push(DeltaEntry {
+                    app: name.to_string(),
+                    axis: "critical-path",
+                    side: side.to_string(),
+                    label: cat.to_string(),
+                    old: a,
+                    new: b,
+                });
+            }
+        }
+
+        let oph = o.and_then(|v| v.get("phases"));
+        let nph = n.and_then(|v| v.get("phases"));
+        for phase in key_union(oph, nph) {
+            let a = num(oph
+                .and_then(|v| v.get(phase))
+                .and_then(|v| v.get("total_s")))
+            .unwrap_or(0.0);
+            let b = num(nph
+                .and_then(|v| v.get(phase))
+                .and_then(|v| v.get("total_s")))
+            .unwrap_or(0.0);
+            if exceeds(a, b, epsilon) {
+                report.time.push(DeltaEntry {
+                    app: name.to_string(),
+                    axis: "phase",
+                    side: side.to_string(),
+                    label: phase.to_string(),
+                    old: a,
+                    new: b,
+                });
+            }
+        }
+
+        let ocb = o.and_then(|v| v.get("class_bytes"));
+        let ncb = n.and_then(|v| v.get("class_bytes"));
+        for class in key_union(ocb, ncb) {
+            let a = num(ocb.and_then(|v| v.get(class))).unwrap_or(0.0);
+            let b = num(ncb.and_then(|v| v.get(class))).unwrap_or(0.0);
+            if a != b {
+                report.bytes.push(DeltaEntry {
+                    app: name.to_string(),
+                    axis: "traffic",
+                    side: side.to_string(),
+                    label: class.to_string(),
+                    old: a,
+                    new: b,
+                });
+            }
+        }
+    }
+
+    for (curve_key, driver) in [("ic_curve", "ic"), ("pic_curve", "pic")] {
+        let oc = old_app.get("quality").and_then(|q| q.get(curve_key));
+        let nc = new_app.get("quality").and_then(|q| q.get(curve_key));
+        if let (Some(Json::Arr(oc)), Some(Json::Arr(nc))) = (oc, nc) {
+            if let Some(d) = curve_divergence(name, driver, oc, nc, epsilon) {
+                report.divergence.push(d);
+            }
+        }
+    }
+}
+
+/// First index at which two convergence curves part ways (error or
+/// timestamp beyond `epsilon`, or one curve simply ending early).
+fn curve_divergence(
+    app: &str,
+    driver: &str,
+    old: &[Json],
+    new: &[Json],
+    epsilon: f64,
+) -> Option<QualityDivergence> {
+    for (i, (op, np)) in old.iter().zip(new.iter()).enumerate() {
+        let (oe, ne) = (num(op.get("err")), num(np.get("err")));
+        let (ot, nt) = (num(op.get("t_s")), num(np.get("t_s")));
+        let moved = match ((oe, ne), (ot, nt)) {
+            ((Some(a), Some(b)), (Some(ta), Some(tb))) => {
+                exceeds(a, b, epsilon) || exceeds(ta, tb, epsilon)
+            }
+            _ => true,
+        };
+        if moved {
+            return Some(QualityDivergence {
+                app: app.to_string(),
+                driver: driver.to_string(),
+                index: i,
+                t_s: ot.unwrap_or(f64::NAN),
+                old_err: oe.unwrap_or(f64::NAN),
+                new_err: ne.unwrap_or(f64::NAN),
+            });
+        }
+    }
+    if old.len() != new.len() {
+        let i = old.len().min(new.len());
+        let longer = if old.len() > new.len() { old } else { new };
+        return Some(QualityDivergence {
+            app: app.to_string(),
+            driver: driver.to_string(),
+            index: i,
+            t_s: num(longer[i].get("t_s")).unwrap_or(f64::NAN),
+            old_err: if old.len() > i {
+                num(old[i].get("err")).unwrap_or(f64::NAN)
+            } else {
+                f64::NAN
+            },
+            new_err: if new.len() > i {
+                num(new[i].get("err")).unwrap_or(f64::NAN)
+            } else {
+                f64::NAN
+            },
+        });
+    }
+    None
+}
+
+/// Host-stage deltas when both documents carry a profile. Missing or
+/// null profiles on either side attribute nothing — host data is
+/// opportunistic, not required.
+fn diff_host(old: Option<&Json>, new: Option<&Json>, report: &mut DiffReport) {
+    // A side without a profile is `null` (or absent entirely) — either
+    // way there is nothing to compare against.
+    let (Some(o @ Json::Obj(_)), Some(n @ Json::Obj(_))) = (old, new) else {
+        return;
+    };
+    let (os, ns) = (o.get("stages"), n.get("stages"));
+    for stage in key_union(os, ns) {
+        let a = num(os.and_then(|v| v.get(stage)).and_then(|v| v.get("total_s"))).unwrap_or(0.0);
+        let b = num(ns.and_then(|v| v.get(stage)).and_then(|v| v.get("total_s"))).unwrap_or(0.0);
+        if (a - b).abs() > HOST_BAND * a.abs().max(b.abs()) {
+            report.host.push(DeltaEntry {
+                app: String::new(),
+                axis: "host-stage",
+                side: String::new(),
+                label: stage.to_string(),
+                old: a,
+                new: b,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{report as perf, ExperimentCtx};
+    use crate::json;
+
+    fn linsolve_doc() -> String {
+        let ctx = ExperimentCtx { scale: 0.01 };
+        let runs = perf::collect(&ctx, &["linsolve"]).unwrap();
+        perf::bench_json(&ctx, &runs, &[], None, None)
+    }
+
+    /// Navigate a mutable path; numeric segments index arrays.
+    fn at<'j>(doc: &'j mut Json, path: &[&str]) -> &'j mut Json {
+        let mut cur = doc;
+        for seg in path {
+            cur = match cur {
+                Json::Obj(fields) => {
+                    &mut fields
+                        .iter_mut()
+                        .find(|(k, _)| k == seg)
+                        .unwrap_or_else(|| panic!("no key '{seg}'"))
+                        .1
+                }
+                Json::Arr(items) => &mut items[seg.parse::<usize>().expect("index")],
+                other => panic!("cannot descend into {other:?} at '{seg}'"),
+            };
+        }
+        cur
+    }
+
+    fn set_num(doc: &mut Json, path: &[&str], f: impl Fn(f64) -> f64) {
+        let v = at(doc, path);
+        let Json::Num(n, raw) = v else {
+            panic!("not a number at {path:?}")
+        };
+        *n = f(*n);
+        *raw = format!("{n}");
+    }
+
+    /// Two same-seed runs attribute nothing: every simulated quantity is
+    /// deterministic, and only `host_*` wall-clock differs.
+    #[test]
+    fn same_seed_runs_attribute_zero_delta() {
+        let old = json::parse(&linsolve_doc()).unwrap();
+        let new = json::parse(&linsolve_doc()).unwrap();
+        let report = diff_docs(&old, &new, 1e-9).unwrap();
+        assert!(report.is_empty(), "unexpected attribution: {report:?}");
+        assert!(report.render(0).contains("no attributed deltas"));
+        assert!(report.to_json().contains("\"attributed\": false"));
+    }
+
+    /// A perturbed run ranks the perturbed segment and traffic class
+    /// first: doubling the pic shuffle-rack bytes tops the byte table,
+    /// and the largest injected time delta tops the segment table.
+    #[test]
+    fn perturbed_run_ranks_injected_segment_first() {
+        let old = json::parse(&linsolve_doc()).unwrap();
+        let mut new = old.clone();
+
+        set_num(
+            &mut new,
+            &["apps", "0", "pic", "class_bytes", "shuffle-rack"],
+            |v| v * 2.0,
+        );
+        // Grow one pic phase a lot and one ic critical-path category a
+        // little; ranking must put the bigger regression first.
+        set_num(
+            &mut new,
+            &["apps", "0", "pic", "phases", "topoff", "total_s"],
+            |v| v + 50.0,
+        );
+        set_num(
+            &mut new,
+            &["apps", "0", "ic", "critical_path", "by_cat_s", "task"],
+            |v| v + 5.0,
+        );
+
+        let report = diff_docs(&old, &new, 1e-9).unwrap();
+        assert!(!report.is_empty());
+
+        let top = &report.time[0];
+        assert_eq!(
+            (
+                top.app.as_str(),
+                top.side.as_str(),
+                top.axis,
+                top.label.as_str()
+            ),
+            ("linsolve", "pic", "phase", "topoff"),
+            "biggest time regression first: {:?}",
+            report.time
+        );
+        assert!((top.delta() - 50.0).abs() < 1e-6);
+        assert_eq!(report.time[1].label, "task");
+
+        let top_bytes = &report.bytes[0];
+        assert_eq!(
+            (top_bytes.side.as_str(), top_bytes.label.as_str()),
+            ("pic", "shuffle-rack"),
+            "perturbed traffic class first: {:?}",
+            report.bytes
+        );
+        assert_eq!(top_bytes.new, top_bytes.old * 2.0);
+
+        let rendered = report.render(5);
+        assert!(rendered.contains("phase:topoff"), "{rendered}");
+        assert!(rendered.contains("shuffle-rack"), "{rendered}");
+        let json_doc = report.to_json();
+        assert!(json_doc.contains("\"attributed\": true"));
+        // The machine-readable output parses with our own parser.
+        assert!(json::parse(&json_doc).is_ok());
+    }
+
+    /// Quality-curve perturbation reports the first diverging point.
+    #[test]
+    fn quality_divergence_reports_first_moved_point() {
+        let old = json::parse(&linsolve_doc()).unwrap();
+        let mut new = old.clone();
+        set_num(
+            &mut new,
+            &["apps", "0", "quality", "pic_curve", "2", "err"],
+            |v| v + 1.0,
+        );
+        let report = diff_docs(&old, &new, 1e-9).unwrap();
+        assert_eq!(report.divergence.len(), 1, "{:?}", report.divergence);
+        let d = &report.divergence[0];
+        assert_eq!(
+            (d.app.as_str(), d.driver.as_str(), d.index),
+            ("linsolve", "pic", 2)
+        );
+        assert!((d.new_err - d.old_err - 1.0).abs() < 1e-9);
+    }
+
+    /// Host-stage deltas surface only when both sides carry profiles,
+    /// and never make an otherwise-clean diff non-empty.
+    #[test]
+    fn host_stage_deltas_are_informational() {
+        let mk = |map_s: f64| {
+            format!(
+                r#"{{"scale": 1, "apps": [], "host_profile": {{"total_s": {t}, "stages": {{"map": {{"calls": 4, "bytes": 64, "total_s": {map_s}, "share": 1.0}}}}}}}}"#,
+                t = map_s,
+                map_s = map_s
+            )
+        };
+        let old = json::parse(&mk(1.0)).unwrap();
+        let new = json::parse(&mk(2.0)).unwrap();
+        let report = diff_docs(&old, &new, 1e-9).unwrap();
+        assert!(report.is_empty(), "host deltas must not attribute");
+        assert_eq!(report.host.len(), 1);
+        assert_eq!(report.host[0].label, "map");
+        assert!(report.render(0).contains("host-stage wall-clock moved"));
+
+        // One side null → no host attribution, no error.
+        let null_side = json::parse(r#"{"scale": 1, "apps": [], "host_profile": null}"#).unwrap();
+        let report = diff_docs(&null_side, &new, 1e-9).unwrap();
+        assert!(report.host.is_empty());
+
+        // Jitter inside the 5% band stays quiet.
+        let close = json::parse(&mk(1.03)).unwrap();
+        let report = diff_docs(&old, &close, 1e-9).unwrap();
+        assert!(report.host.is_empty(), "{:?}", report.host);
+    }
+
+    /// Structural mismatches (missing app, scale mismatch) are notes,
+    /// which count as attribution but don't crash the differ.
+    #[test]
+    fn structural_mismatches_become_notes() {
+        let a = json::parse(r#"{"scale": 1, "apps": [{"app": "kmeans"}]}"#).unwrap();
+        let b = json::parse(r#"{"scale": 2, "apps": []}"#).unwrap();
+        let report = diff_docs(&a, &b, 1e-9).unwrap();
+        assert!(!report.is_empty());
+        assert_eq!(report.notes.len(), 2, "{:?}", report.notes);
+        assert!(diff_docs(&Json::Null, &b, 1e-9).is_err());
+    }
+}

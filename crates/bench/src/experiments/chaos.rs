@@ -449,19 +449,19 @@ pub fn chaos_csv(cells: &[ChaosCell]) -> String {
     let mut out = String::from(csv_header());
     out.push('\n');
     for c in cells {
-        out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{}\n",
-            c.app,
-            c.scenario,
-            c.driver,
+        out.push_str(&crate::table::csv_row([
+            c.app.to_string(),
+            c.scenario.to_string(),
+            c.driver.to_string(),
             fmt_f64(c.clean_s),
             fmt_f64(c.faulty_s),
             fmt_f64(c.recovery_s),
-            c.recovery_bytes,
-            c.injected_events,
+            c.recovery_bytes.to_string(),
+            c.injected_events.to_string(),
             fmt_f64(c.tt_quality_delta_s),
-            c.exact_result,
-        ));
+            c.exact_result.to_string(),
+        ]));
+        out.push('\n');
     }
     out
 }

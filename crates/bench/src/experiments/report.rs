@@ -12,6 +12,7 @@
 
 use super::common::Comparison;
 use super::{fig2, speedups, ExperimentCtx};
+use crate::table::csv_row;
 use pic_core::report::TrajectoryPoint;
 use pic_simnet::report::{fmt_f64, PerfReport, QualityPoint, QualityReport, REPORT_SCHEMA_VERSION};
 use pic_simnet::trace::check;
@@ -244,18 +245,28 @@ pub fn collect(ctx: &ExperimentCtx, apps: &[&str]) -> Result<Vec<AppRun>, String
 /// else is a pure function of the simulated runs. `chaos` is the
 /// quality-under-failure campaign matrix (may be empty when the caller
 /// skips the campaign); `tenancy` is the multi-tenant packing section
-/// (`null` when the caller skips the stream).
+/// (`null` when the caller skips the stream); `host` is the host-side
+/// stage profile captured around the suite (`null` unless the caller ran
+/// with profiling enabled). The profile is emitted compactly on a single
+/// `host_profile` line so it strips like every other `host_*` key.
 pub fn bench_json(
     ctx: &ExperimentCtx,
     runs: &[AppRun],
     chaos: &[super::chaos::ChaosCell],
     tenancy: Option<&super::tenancy::TenancySection>,
+    host: Option<&pic_simnet::HostProfile>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"schema_version\": {REPORT_SCHEMA_VERSION},\n"));
     out.push_str("  \"suite\": \"pic-report\",\n");
     out.push_str(&format!("  \"scale\": {},\n", fmt_f64(ctx.scale)));
+    out.push_str("  \"host_profile\": ");
+    match host {
+        Some(p) => out.push_str(&p.to_json_line()),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n");
     out.push_str("  \"apps\": [\n");
     for (i, run) in runs.iter().enumerate() {
         out.push_str("    {\n");
@@ -331,7 +342,10 @@ pub fn quality_csv(runs: &[AppRun]) -> String {
     let mut out = String::from(QualityReport::csv_header());
     out.push('\n');
     for run in runs {
-        out.push_str(&run.quality.csv_rows());
+        for rec in run.quality.csv_records() {
+            out.push_str(&csv_row(&rec));
+            out.push('\n');
+        }
     }
     out
 }
@@ -344,8 +358,12 @@ pub fn utilization_csv(runs: &[AppRun]) -> String {
     let mut out = String::from(UtilizationReport::csv_header());
     out.push('\n');
     for run in runs {
-        out.push_str(&run.ic_utilization().csv_rows(run.app, "ic"));
-        out.push_str(&run.pic_utilization().csv_rows(run.app, "pic"));
+        for (side, util) in [("ic", run.ic_utilization()), ("pic", run.pic_utilization())] {
+            for rec in util.csv_records(run.app, side) {
+                out.push_str(&csv_row(&rec));
+                out.push('\n');
+            }
+        }
     }
     out
 }
@@ -369,7 +387,7 @@ mod tests {
         assert!(runs[0].validate().is_empty());
         assert!(runs[0].speedup_x() > 1.0);
 
-        let doc = bench_json(&ctx, &runs, &[], None);
+        let doc = bench_json(&ctx, &runs, &[], None, None);
         let parsed = json::parse(&doc).unwrap();
         assert_eq!(
             parsed.get("schema_version").unwrap().as_f64(),
@@ -401,10 +419,49 @@ mod tests {
     #[test]
     fn bench_json_host_lines_are_isolated() {
         let ctx = ExperimentCtx { scale: 0.01 };
-        let doc = bench_json(&ctx, &linsolve_runs(), &[], None);
+        let doc = bench_json(&ctx, &linsolve_runs(), &[], None, None);
         let host_lines: Vec<&str> = doc.lines().filter(|l| l.contains("host_")).collect();
-        assert_eq!(host_lines.len(), 1, "one host key per app run");
-        assert!(host_lines[0].trim_start().starts_with("\"host_elapsed_s\""));
+        assert_eq!(
+            host_lines.len(),
+            2,
+            "one host key per app run plus the suite host_profile"
+        );
+        assert!(host_lines[0]
+            .trim_start()
+            .starts_with("\"host_profile\": null"));
+        assert!(host_lines[1].trim_start().starts_with("\"host_elapsed_s\""));
+
+        // With a profile attached, the whole section still occupies a
+        // single strippable line and the document stays parseable.
+        let profile = pic_simnet::HostProfile {
+            stages: vec![pic_simnet::StageProfile {
+                stage: pic_simnet::Stage::Map,
+                calls: 3,
+                bytes: 128,
+                total_s: 0.25,
+                p50_s: 0.08,
+                p95_s: 0.1,
+                max_s: 0.1,
+            }],
+        };
+        let doc = bench_json(&ctx, &linsolve_runs(), &[], None, Some(&profile));
+        let host_lines: Vec<&str> = doc.lines().filter(|l| l.contains("host_")).collect();
+        assert_eq!(host_lines.len(), 2, "profile stays on one line");
+        let parsed = json::parse(&doc).unwrap();
+        let hp = parsed.get("host_profile").unwrap();
+        assert_eq!(
+            hp.get("stages")
+                .unwrap()
+                .get("map")
+                .unwrap()
+                .get("calls")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+        // host_profile is prefix-skipped like every other host_ key.
+        let stripped = bench_json(&ctx, &linsolve_runs(), &[], None, None);
+        assert!(json::diff(&json::parse(&stripped).unwrap(), &parsed, 1e-9).is_empty());
     }
 
     #[test]
@@ -425,7 +482,7 @@ mod tests {
     #[test]
     fn quality_drift_beyond_tolerance_is_a_regression() {
         let ctx = ExperimentCtx { scale: 0.01 };
-        let doc = bench_json(&ctx, &linsolve_runs(), &[], None);
+        let doc = bench_json(&ctx, &linsolve_runs(), &[], None, None);
         let baseline = json::parse(&doc).unwrap();
         assert!(json::diff(&baseline, &baseline, 1e-6).is_empty());
 
@@ -462,7 +519,7 @@ mod tests {
     #[test]
     fn utilization_drift_is_a_regression() {
         let ctx = ExperimentCtx { scale: 0.01 };
-        let doc = bench_json(&ctx, &linsolve_runs(), &[], None);
+        let doc = bench_json(&ctx, &linsolve_runs(), &[], None, None);
         let baseline = json::parse(&doc).unwrap();
 
         let key = r#""peak_util": "#;
@@ -507,7 +564,7 @@ mod tests {
             tt_quality_delta_s: 5.0,
             exact_result: true,
         };
-        let doc = bench_json(&ctx, &linsolve_runs(), &[cell], None);
+        let doc = bench_json(&ctx, &linsolve_runs(), &[cell], None, None);
         let baseline = json::parse(&doc).unwrap();
         assert!(json::diff(&baseline, &baseline, 1e-6).is_empty());
 
@@ -580,7 +637,7 @@ mod tests {
             packing_x: 1.5,
             exact_models: true,
         };
-        let doc = bench_json(&ctx, &linsolve_runs(), &[], Some(&section));
+        let doc = bench_json(&ctx, &linsolve_runs(), &[], Some(&section), None);
         let baseline = json::parse(&doc).unwrap();
         assert!(json::diff(&baseline, &baseline, 1e-6).is_empty());
 
@@ -631,7 +688,10 @@ mod tests {
     #[test]
     fn unknown_app_is_rejected() {
         let err = collect(&ExperimentCtx { scale: 0.01 }, &["nope"]).unwrap_err();
-        assert!(err.contains("unknown app"), "{err}");
+        assert!(err.contains("unknown app 'nope'"), "{err}");
+        for app in APPS {
+            assert!(err.contains(app), "error must name {app}: {err}");
+        }
     }
 
     #[test]

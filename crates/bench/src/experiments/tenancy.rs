@@ -420,7 +420,10 @@ pub fn section_json(s: &TenancySection, indent: usize) -> String {
 pub fn tenancy_csv(r: &TenancyReport) -> String {
     let mut out = String::from(TenancyReport::csv_header());
     out.push('\n');
-    out.push_str(&r.csv_rows());
+    for rec in r.csv_records() {
+        out.push_str(&crate::table::csv_row(&rec));
+        out.push('\n');
+    }
     out
 }
 
@@ -514,6 +517,9 @@ mod tests {
 
         let err = stream_with("3k", &ok, &set).unwrap_err();
         assert!(err.contains("unknown preset '3k'"), "{err}");
+        for p in pic_simnet::tenancy::PRESETS {
+            assert!(err.contains(p), "error must name {p}: {err}");
+        }
     }
 
     #[test]

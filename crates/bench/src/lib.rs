@@ -10,6 +10,8 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod experiments;
+pub mod host_trend;
 pub mod json;
 pub mod table;

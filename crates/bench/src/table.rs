@@ -58,6 +58,75 @@ impl Table {
     }
 }
 
+/// Quote one CSV field per RFC 4180: fields containing a comma, a double
+/// quote or a line break are wrapped in double quotes with embedded
+/// quotes doubled; everything else passes through unchanged (so the
+/// committed artifacts stay byte-identical for today's plain fields).
+pub fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Join fields into one CSV record (no trailing newline), each routed
+/// through [`csv_field`]. Every CSV artifact this crate writes builds
+/// its rows here so the escaping policy lives in exactly one place.
+pub fn csv_row<S: AsRef<str>>(fields: impl IntoIterator<Item = S>) -> String {
+    fields
+        .into_iter()
+        .map(|f| csv_field(f.as_ref()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parse a CSV document written by [`csv_row`] back into records,
+/// honouring RFC 4180 quoting (embedded commas, doubled quotes, and
+/// line breaks inside quoted fields). A lone trailing newline does not
+/// produce an empty record. Errors on an unterminated quoted field.
+pub fn csv_parse(doc: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut saw_any = false;
+    let mut chars = doc.chars().peekable();
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => in_quotes = false,
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => in_quotes = true,
+                ',' => record.push(std::mem::take(&mut field)),
+                '\r' if chars.peek() == Some(&'\n') => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    saw_any = false;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted CSV field".to_string());
+    }
+    if saw_any {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
 /// Format simulated seconds compactly.
 pub fn fmt_secs(s: f64) -> String {
     if s >= 3600.0 {
@@ -101,6 +170,31 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn arity_checked() {
         Table::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn csv_round_trips_quoting_and_commas() {
+        // Plain fields pass through untouched (artifact stability).
+        assert_eq!(csv_field("kmeans"), "kmeans");
+        assert_eq!(csv_row(["a", "1", "2.5"]), "a,1,2.5");
+        // Commas, quotes and newlines are quoted per RFC 4180.
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        let rows = [
+            vec!["app,with,commas".to_string(), "plain".to_string()],
+            vec!["quote\"inside".to_string(), "line\nbreak".to_string()],
+        ];
+        let doc: String = rows
+            .iter()
+            .map(|r| csv_row(r.iter().map(String::as_str)) + "\n")
+            .collect();
+        let parsed = csv_parse(&doc).unwrap();
+        assert_eq!(parsed, rows.to_vec());
+        // Trailing newline does not fabricate an empty record; an
+        // unterminated quote is an error, not a silent truncation.
+        assert_eq!(csv_parse("a,b\n").unwrap(), vec![vec!["a", "b"]]);
+        assert_eq!(csv_parse("a,b").unwrap(), vec![vec!["a", "b"]]);
+        assert!(csv_parse("\"open").is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::report::{IcReport, IterationStats, TrajectoryPoint};
 use crate::scope::IterScope;
 use pic_mapreduce::kv::ByteSize;
 use pic_mapreduce::{Dataset, Engine, Timing};
+use pic_simnet::hostprof::{self, Stage};
 use pic_simnet::topology::NodeId;
 use pic_simnet::trace::Payload;
 use pic_simnet::traffic::TrafficClass;
@@ -136,7 +137,10 @@ pub fn run_ic<A: IterativeApp + QualityProbe>(
         }
 
         // The data-parallel refinement (one or more MapReduce jobs).
-        let next = app.iterate(engine, data, &model, &scope);
+        let next = {
+            let _hp = hostprof::scope(Stage::IcIterate);
+            app.iterate(engine, data, &model, &scope)
+        };
 
         // Persist the refined model to the replicated DFS.
         engine.write_model(

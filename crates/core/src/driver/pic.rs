@@ -26,6 +26,7 @@ use crate::quality::QualityProbe;
 use crate::report::{PicReport, TrajectoryPoint};
 use pic_mapreduce::kv::ByteSize;
 use pic_mapreduce::{Dataset, Engine, Timing};
+use pic_simnet::hostprof::{self, Stage};
 use pic_simnet::scheduler::{SchedulerOptions, SlotScheduler, TaskSpec};
 use pic_simnet::trace::Payload;
 use pic_simnet::traffic::TrafficClass;
@@ -213,7 +214,10 @@ pub fn run_pic<A: PicApp + QualityProbe>(
         // Sub-models out of the unified model (paper `partition`, model
         // side), broadcast each to its node group. Broadcasts to disjoint
         // groups proceed in parallel: time is their max, traffic their sum.
-        let sub_models = app.split_model(&model, parts);
+        let sub_models = {
+            let _hp = hostprof::scope(Stage::PicMerge);
+            app.split_model(&model, parts)
+        };
         assert_eq!(
             sub_models.len(),
             parts,
@@ -248,6 +252,7 @@ pub fn run_pic<A: PicApp + QualityProbe>(
             .enumerate()
             .map(|(p, (records, sm))| {
                 let t0 = Instant::now();
+                let _hp = hostprof::scope(Stage::PicSolve);
                 let (m, iters) = app.solve_local(p, records, sm, cap);
                 (m, iters, t0.elapsed().as_secs_f64())
             })
@@ -359,11 +364,13 @@ pub fn run_pic<A: PicApp + QualityProbe>(
         // bytes per round whenever sub-model sizes are uneven.
         let sub_sizes: Vec<u64> = sub_results.iter().map(ByteSize::byte_size).collect();
         let merge_span = tracer.begin("merge", "merge");
+        let hp_merge = hostprof::scope(Stage::PicMerge);
         engine.gather_models_sized(&sub_sizes);
         // The merge itself runs as a (small) MapReduce job in the paper's
         // library; charge it one task wave.
         engine.advance(spec.task_overhead_s);
         let merged = app.merge(&sub_results, &model);
+        drop(hp_merge);
         engine.write_model(
             &model_file,
             merged.byte_size(),

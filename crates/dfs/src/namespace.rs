@@ -5,6 +5,7 @@ use crate::split::{even_ranges, InputSplit};
 use crate::DEFAULT_BLOCK_SIZE;
 use parking_lot::RwLock;
 use pic_simnet::chaos::ChaosInjector;
+use pic_simnet::hostprof::{self, Stage};
 use pic_simnet::topology::{ClusterSpec, NodeId};
 use pic_simnet::trace::{Payload, Tracer};
 use pic_simnet::traffic::{TrafficClass, TrafficLedger};
@@ -122,6 +123,7 @@ impl Dfs {
         writer: NodeId,
         class: TrafficClass,
     ) -> Result<f64, DfsError> {
+        let _hp = hostprof::scope_bytes(Stage::DfsSerialization, bytes);
         {
             let files = self.files.read();
             if files.contains_key(path) {
@@ -174,10 +176,12 @@ impl Dfs {
     /// disk time only; otherwise the read crosses the network and is
     /// charged to [`TrafficClass::DfsRead`]. Returns simulated seconds.
     pub fn read(&self, path: &str, reader: NodeId) -> Result<f64, DfsError> {
+        let mut _hp = hostprof::scope(Stage::DfsDeserialization);
         let files = self.files.read();
         let meta = files
             .get(path)
             .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        _hp.add_bytes(meta.size);
         let mut secs = 0.0;
         let mut remaining = meta.size;
         for replicas in &meta.blocks {

@@ -8,6 +8,7 @@ use crate::traits::{Combiner, DynCombiner, MapContext, Mapper, ReduceContext, Re
 use parking_lot::Mutex;
 use pic_dfs::Dfs;
 use pic_simnet::chaos::{ChaosInjector, FaultPlan};
+use pic_simnet::hostprof::{self, Stage};
 use pic_simnet::scheduler::{Locality, ScheduleOutcome, SchedulerOptions, SlotScheduler, TaskSpec};
 use pic_simnet::topology::{ClusterSpec, NodeId};
 use pic_simnet::trace::{Payload, Trace, Tracer};
@@ -331,8 +332,11 @@ impl Engine {
             .map(|split| {
                 let t0 = Instant::now();
                 let mut ctx = MapContext::new();
-                for r in &split.records {
-                    mapper.map(r, &mut ctx);
+                {
+                    let _hp = hostprof::scope_bytes(Stage::Map, split.bytes);
+                    for r in &split.records {
+                        mapper.map(r, &mut ctx);
+                    }
                 }
                 let (pairs, counters) = ctx.into_parts();
                 (
@@ -419,6 +423,7 @@ impl Engine {
         lane: &str,
         recovery_bytes: &dyn Fn(usize) -> u64,
     ) -> ScheduleOutcome {
+        let _hp = hostprof::scope(Stage::Schedule);
         let sched = SlotScheduler::new(&self.spec);
         let mut outcome = sched.schedule_with(
             tasks,
@@ -548,8 +553,11 @@ impl Engine {
             .map(|split| {
                 let t0 = Instant::now();
                 let mut ctx = MapContext::partitioned(cfg.reducers);
-                for r in &split.records {
-                    mapper.map(r, &mut ctx);
+                {
+                    let _hp = hostprof::scope_bytes(Stage::Map, split.bytes);
+                    for r in &split.records {
+                        mapper.map(r, &mut ctx);
+                    }
                 }
                 let (mut buckets, counters) = ctx.into_buckets();
                 let raw_pairs: usize = buckets.iter().map(Vec::len).sum();
@@ -558,6 +566,7 @@ impl Engine {
                     // Each key hashes to exactly one bucket, so combining
                     // per bucket groups the same runs as combining the
                     // task's whole output.
+                    let _hp = hostprof::scope_bytes(Stage::Combine, raw_bytes);
                     for b in &mut buckets {
                         *b = combine_run(c, std::mem::take(b));
                     }
@@ -669,7 +678,9 @@ impl Engine {
         }
 
         // ---- Shuffle: byte-exact volume, modelled time. ------------------
+        let mut hp_shuffle = hostprof::scope(Stage::ShuffleMaterialization);
         let shuffle_bytes: u64 = map_outs.iter().map(|mo| mo.shuffle_bytes).sum();
+        hp_shuffle.add_bytes(shuffle_bytes);
         stats.shuffle_bytes = shuffle_bytes;
         let shuffle_cost = transfer::shuffle(&self.spec, &group, shuffle_bytes);
         // An active degradation window stretches the shuffle's wire time
@@ -714,6 +725,7 @@ impl Engine {
             t_phase + stats.shuffle_time_s,
             vec![("bytes".to_string(), Payload::U64(shuffle_bytes))],
         );
+        drop(hp_shuffle);
 
         // ---- Partition + sort (group by key within each bucket). --------
         //
@@ -728,10 +740,13 @@ impl Engine {
         let mut reducer_chunks: Vec<Chunks<M::K, M::V>> = (0..cfg.reducers)
             .map(|_| Vec::with_capacity(map_outs.len()))
             .collect();
-        for mo in map_outs {
-            for (r, chunk) in mo.buckets.into_iter().enumerate() {
-                if !chunk.is_empty() {
-                    reducer_chunks[r].push(chunk);
+        {
+            let _hp = hostprof::scope(Stage::Partition);
+            for mo in map_outs {
+                for (r, chunk) in mo.buckets.into_iter().enumerate() {
+                    if !chunk.is_empty() {
+                        reducer_chunks[r].push(chunk);
+                    }
                 }
             }
         }
@@ -770,9 +785,12 @@ impl Engine {
                 let t0 = Instant::now();
                 let mut ctx = ReduceContext::new();
                 let mut values = 0usize;
-                for (k, vs) in &bucket {
-                    values += vs.len();
-                    reducer.reduce(k, vs, &mut ctx);
+                {
+                    let _hp = hostprof::scope(Stage::Reduce);
+                    for (k, vs) in &bucket {
+                        values += vs.len();
+                        reducer.reduce(k, vs, &mut ctx);
+                    }
                 }
                 let (out, counters) = ctx.into_parts();
                 RedOut {
@@ -876,6 +894,7 @@ type Grouped<K, V> = Vec<(K, Vec<V>)>;
 ///   values keep task-major emission order (stable sort preserves the
 ///   concatenation order of equal keys).
 fn group_bucket<K: Ord, V>(chunks: Chunks<K, V>) -> Grouped<K, V> {
+    let _hp = hostprof::scope(Stage::SortMergeGroup);
     let total: usize = chunks.iter().map(Vec::len).sum();
     let mut pairs: Vec<(K, V)> = Vec::with_capacity(total);
     for chunk in chunks {

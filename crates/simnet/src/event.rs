@@ -25,6 +25,7 @@
 //! `(lap, time, seq)` is exactly `(time, seq)` while bucket membership is
 //! pure integer arithmetic.
 
+use crate::hostprof::{self, Stage};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -211,6 +212,19 @@ impl<T> EventQueue<T> {
     /// # Panics
     /// Panics if `time` is NaN or negative.
     pub fn push(&mut self, time: f64, payload: T) {
+        // Branch rather than hold a disabled guard: a live Drop object
+        // across this ~100ns body costs real time even when inert (it
+        // pins state across the unwind edges), and push/pop dominate the
+        // hold benchmark the event core is gated on.
+        if hostprof::is_enabled() {
+            let _hp = hostprof::scope(Stage::EventQueueOps);
+            return self.push_impl(time, payload);
+        }
+        self.push_impl(time, payload)
+    }
+
+    #[inline]
+    fn push_impl(&mut self, time: f64, payload: T) {
         assert!(
             time.is_finite() && time >= 0.0,
             "event time must be finite and >= 0"
@@ -305,6 +319,15 @@ impl<T> EventQueue<T> {
 
     /// Remove and return the earliest event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(f64, T)> {
+        if hostprof::is_enabled() {
+            let _hp = hostprof::scope(Stage::EventQueueOps);
+            return self.pop_impl();
+        }
+        self.pop_impl()
+    }
+
+    #[inline]
+    fn pop_impl(&mut self) -> Option<(f64, T)> {
         let (b, i, crowd, churn) = self.locate()?;
         let e = self.buckets[b].swap_remove(i);
         self.cur_lap = e.lap;
@@ -537,6 +560,93 @@ mod tests {
         assert_eq!(q.pop(), Some((1.0e9, "eon")));
         assert_eq!(q.pop(), Some((2.0e9, "later-eon")));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn grow_fires_strictly_above_twice_len_occupancy() {
+        // Grow triggers on `2·len > n_buckets`, so at exactly 2·len ==
+        // n_buckets the calendar must NOT resize, and one more push must
+        // double it. Differential: drain order still matches the heap.
+        let mut q = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        for i in 0..4u32 {
+            q.push(f64::from(i), i);
+            heap.push(f64::from(i), i);
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.buckets.len(), 8, "2·len == n: inside the band");
+        q.push(4.0, 4);
+        heap.push(4.0, 4);
+        assert_eq!(q.buckets.len(), 16, "2·len > n: doubled");
+        while let Some(a) = q.pop() {
+            assert_eq!(Some(a), heap.pop());
+        }
+        assert!(heap.pop().is_none());
+    }
+
+    #[test]
+    fn shrink_fires_strictly_below_an_eighth_occupancy() {
+        // Shrink triggers on `len·8 < n_buckets`: at exactly len·8 == n
+        // the calendar must hold its bucket count, and the next pop must
+        // halve it. Build 9 live events → 32 buckets, then drain.
+        let mut q = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        for i in 0..9u32 {
+            q.push(f64::from(i) * 0.5, i);
+            heap.push(f64::from(i) * 0.5, i);
+        }
+        assert_eq!(q.buckets.len(), 32);
+        while q.len() > 4 {
+            assert_eq!(q.pop(), heap.pop());
+            assert_eq!(q.buckets.len(), 32, "above the shrink threshold");
+        }
+        // len == 4: exactly an eighth — still inside the hysteresis band.
+        assert_eq!(q.buckets.len(), 32);
+        assert_eq!(q.pop(), heap.pop());
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.buckets.len(), 16, "len·8 < n: halved");
+        while let Some(a) = q.pop() {
+            assert_eq!(Some(a), heap.pop());
+        }
+        assert!(heap.pop().is_none());
+    }
+
+    #[test]
+    fn recalibration_interval_edge_at_len_512() {
+        // The scan-cost check runs every `max(RECAL_INTERVAL, len)` pops;
+        // at len == 512 the two operands coincide, so the check must fire
+        // on exactly the 512th hold-pop and reset the counters — and the
+        // queue must stay order-identical to the heap across it.
+        let mut q = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        for i in 0..512u32 {
+            let t = f64::from(i % 97) * 0.25;
+            q.push(t, i);
+            heap.push(t, i);
+        }
+        assert_eq!(q.len(), 512);
+        assert_eq!(q.buckets.len(), 1024, "no grow at 2·len == n");
+        for hold in 1..=512u64 {
+            let (t, v) = q.pop().unwrap();
+            assert_eq!(Some((t, v)), heap.pop());
+            q.push(t + 1.0, v);
+            heap.push(t + 1.0, v);
+            if hold < 512 {
+                assert_eq!(
+                    q.pops_since_recal, hold,
+                    "counter accumulates below the interval"
+                );
+            } else {
+                assert_eq!(
+                    q.pops_since_recal, 0,
+                    "512th pop at len 512 triggers the check and resets"
+                );
+            }
+        }
+        while let Some(a) = q.pop() {
+            assert_eq!(Some(a), heap.pop());
+        }
+        assert!(heap.pop().is_none());
     }
 
     #[test]

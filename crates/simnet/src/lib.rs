@@ -31,6 +31,10 @@
 //!   and slot-pool series against [`ClusterSpec`] capacities, bisection
 //!   saturated-seconds, and compute↔comms overlap
 //!   ([`UtilizationReport`]).
+//! * [`hostprof`] — a host-side (wall-clock) stage profiler: RAII scope
+//!   timers over the engine/DFS/event-queue/driver hot paths with a
+//!   zero-cost disabled path, feeding the `BENCH_host.csv` trend gate
+//!   and `pic diff` host-stage attribution ([`HostProfile`]).
 //! * [`tenancy`] — multi-tenant job streams: a seeded Poisson-ish
 //!   workload generator over 1k–10k-node presets and a cluster-level
 //!   scheduler ([`ClusterScheduler`]) with FIFO admission, weighted fair
@@ -47,6 +51,7 @@
 pub mod chaos;
 pub mod clock;
 pub mod event;
+pub mod hostprof;
 pub mod report;
 pub mod scheduler;
 pub mod tenancy;
@@ -58,6 +63,7 @@ pub mod transfer;
 
 pub use chaos::{ChaosInjector, FaultEvent, FaultPlan};
 pub use clock::SimClock;
+pub use hostprof::{HostProfile, Stage, StageProfile};
 pub use report::{
     CriticalPath, CriticalSegment, IterationRollup, PerfReport, QualityPoint, QualityReport,
     TenancyReport, TenancyRow,

@@ -36,8 +36,11 @@ use std::fmt::Write as _;
 /// `utilization` section (DESIGN.md §11); version 4 added the top-level
 /// `quality_under_failure` campaign matrix (DESIGN.md §12); version 5
 /// added the top-level `tenancy` section — multi-tenant p50/p95/p99
-/// time-to-quality and packing density (DESIGN.md §13).
-pub const REPORT_SCHEMA_VERSION: u64 = 5;
+/// time-to-quality and packing density (DESIGN.md §13); version 6 added
+/// the top-level `host_profile` section — per-stage host wall-clock from
+/// [`crate::hostprof`], skipped by the differ like every `host_` key
+/// (DESIGN.md §14).
+pub const REPORT_SCHEMA_VERSION: u64 = 6;
 
 /// Span categories that mark one driver-level iteration; traffic is
 /// attributed to the nearest enclosing span with one of these cats.
@@ -766,19 +769,21 @@ impl QualityReport {
         "app,driver,point,t_s,err"
     }
 
-    /// The two curves as CSV rows (no header), one `app,driver,point
-    /// index,t_s,err` line per trajectory point.
-    pub fn csv_rows(&self) -> String {
-        let mut out = String::new();
+    /// The two curves as CSV field records (no header), one
+    /// `app,driver,point index,t_s,err` record per trajectory point.
+    /// Records come back unjoined: quoting/escaping lives in one place,
+    /// the `pic-bench` CSV writer.
+    pub fn csv_records(&self) -> Vec<Vec<String>> {
+        let mut out = Vec::new();
         for (driver, curve) in [("ic", &self.ic_curve), ("pic", &self.pic_curve)] {
             for (i, p) in curve.iter().enumerate() {
-                let _ = writeln!(
-                    out,
-                    "{},{driver},{i},{},{}",
-                    self.app,
+                out.push(vec![
+                    self.app.clone(),
+                    driver.to_string(),
+                    i.to_string(),
                     fmt_f64(p.t_s),
-                    fmt_f64(p.err)
-                );
+                    fmt_f64(p.err),
+                ]);
             }
         }
         out
@@ -993,33 +998,33 @@ impl TenancyReport {
         w.finish()
     }
 
-    /// CSV header matching [`TenancyReport::csv_rows`].
+    /// CSV header matching [`TenancyReport::csv_records`].
     pub fn csv_header() -> &'static str {
         "id,app,driver,arrival_s,admitted_s,finish_s,queue_delay_s,tt_quality_s,contention_s,requested_nodes,granted_nodes,preemptions"
     }
 
-    /// One CSV line per job, arrival order.
-    pub fn csv_rows(&self) -> String {
-        let mut out = String::new();
-        for r in &self.rows {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{},{},{},{},{},{},{},{}",
-                r.id,
-                r.app,
-                r.driver,
-                fmt_f64(r.arrival_s),
-                fmt_f64(r.admitted_s),
-                fmt_f64(r.finish_s),
-                fmt_f64(r.queue_delay_s),
-                fmt_f64(r.tt_quality_s),
-                fmt_f64(r.contention_s),
-                r.requested_nodes,
-                r.granted_nodes,
-                r.preemptions,
-            );
-        }
-        out
+    /// One CSV field record per job, arrival order. Records come back
+    /// unjoined: quoting/escaping lives in the `pic-bench` CSV writer.
+    pub fn csv_records(&self) -> Vec<Vec<String>> {
+        self.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.id.to_string(),
+                    r.app.clone(),
+                    r.driver.clone(),
+                    fmt_f64(r.arrival_s),
+                    fmt_f64(r.admitted_s),
+                    fmt_f64(r.finish_s),
+                    fmt_f64(r.queue_delay_s),
+                    fmt_f64(r.tt_quality_s),
+                    fmt_f64(r.contention_s),
+                    r.requested_nodes.to_string(),
+                    r.granted_nodes.to_string(),
+                    r.preemptions.to_string(),
+                ]
+            })
+            .collect()
     }
 
     /// Short human summary (the `pic tenancy` table renders the rows).
@@ -1064,6 +1069,25 @@ pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
     }
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// [`nearest_rank`] over an *unsorted* slice: sorts a copy, then applies
+/// the shared nearest-rank definition. This is the one percentile helper
+/// for callers holding unsorted series (timeline utilization,
+/// host-profile samples) — do not hand-roll another.
+///
+/// # Panics
+/// Panics if any value is NaN.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|x, y| x.partial_cmp(y).expect("percentile input must be finite"));
+    nearest_rank(&sorted, p)
+}
+
+/// Maximum of a (possibly empty) series, `0.0` when empty — the shared
+/// "peak" rollup (peak utilization, peak occupancy, max stage time).
+pub fn peak(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
 }
 
 /// Format an `f64` as a JSON number (`null` for non-finite values),
@@ -1310,6 +1334,26 @@ mod tests {
     }
 
     #[test]
+    fn unsorted_percentile_and_peak_match_nearest_rank_at_small_n() {
+        // 0 samples: sentinel zero for both helpers.
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(peak(&[]), 0.0);
+        // 1 sample: every percentile and the peak are that sample.
+        assert_eq!(percentile(&[4.25], 95.0), 4.25);
+        assert_eq!(peak(&[4.25]), 4.25);
+        // 2 samples, unsorted input: p50 is the smaller (rank 1), p95
+        // the larger (rank 2) — identical to nearest_rank on the sorted
+        // pair.
+        assert_eq!(percentile(&[9.0, 3.0], 50.0), 3.0);
+        assert_eq!(percentile(&[9.0, 3.0], 95.0), 9.0);
+        assert_eq!(
+            percentile(&[9.0, 3.0], 50.0),
+            nearest_rank(&[3.0, 9.0], 50.0)
+        );
+        assert_eq!(peak(&[9.0, 3.0]), 9.0);
+    }
+
+    #[test]
     fn phase_stats_on_zero_and_one_sample_inputs() {
         // 0 samples: everything zero, nothing panics.
         let empty = PhaseStats::from_sorted(&[]);
@@ -1384,10 +1428,10 @@ mod tests {
     fn quality_csv_lists_every_point() {
         let q = quality_fixture();
         assert_eq!(QualityReport::csv_header(), "app,driver,point,t_s,err");
-        let rows = q.csv_rows();
-        assert_eq!(rows.lines().count(), 6);
-        assert!(rows.starts_with("toy,ic,0,1,8\n"), "{rows}");
-        assert!(rows.contains("toy,pic,2,4,1\n"));
+        let records = q.csv_records();
+        assert_eq!(records.len(), 6);
+        assert_eq!(records[0], ["toy", "ic", "0", "1", "8"]);
+        assert!(records.iter().any(|r| r == &["toy", "pic", "2", "4", "1"]));
     }
 
     #[test]
@@ -1492,7 +1536,7 @@ mod tests {
         assert_eq!(a, b, "rendering twice must be identical");
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
-        assert!(a.contains("\"schema_version\": 5"));
+        assert!(a.contains("\"schema_version\": 6"));
         assert!(a.contains("\"total_s\": 10"));
         assert!(a.contains("\"phase/a\""));
         assert!(

@@ -30,7 +30,7 @@
 //! the whole report — JSON, CSV, counter tracks — is byte-identical
 //! across rayon pool widths.
 
-use crate::report::{fmt_f64, JsonWriter};
+use crate::report::{fmt_f64, peak, percentile, JsonWriter};
 use crate::topology::ClusterSpec;
 use crate::trace::{CounterTrack, Trace};
 use crate::traffic::{TrafficClass, TrafficSnapshot};
@@ -265,17 +265,6 @@ fn slots_for(spec: &ClusterSpec, group: &str) -> usize {
     }
 }
 
-/// Nearest-rank percentile over an unsorted slice.
-fn percentile(values: &[f64], p: f64) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|x, y| x.partial_cmp(y).expect("finite utilization"));
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
-}
-
 impl UtilizationReport {
     /// Derive the report from `trace` on `spec` with
     /// [`DEFAULT_INTERVALS`] grid intervals.
@@ -359,7 +348,7 @@ impl UtilizationReport {
                 })
                 .collect();
             let total_bytes = bytes.iter().sum();
-            let peak_util = util.iter().copied().fold(0.0, f64::max);
+            let peak_util = peak(&util);
             let p95_util = percentile(&util, 95.0);
             let mean_util = util.iter().sum::<f64>() / intervals as f64;
             links.insert(
@@ -418,7 +407,7 @@ impl UtilizationReport {
                 series.busy_util = series.busy_integral_s / (series.slots as f64 * horizon);
                 series.idle_util = 1.0 - series.busy_util;
             }
-            series.peak_occupancy = series.occupancy.iter().copied().fold(0.0, f64::max);
+            series.peak_occupancy = peak(&series.occupancy);
         }
 
         // ---- Bisection saturation (exact breakpoint sweep). -------------
@@ -531,37 +520,38 @@ impl UtilizationReport {
         tracks
     }
 
-    /// CSV header for [`UtilizationReport::csv_rows`].
+    /// CSV header for [`UtilizationReport::csv_records`].
     pub fn csv_header() -> &'static str {
         "app,side,series,interval,t0_s,value"
     }
 
-    /// CSV rows (`app,side,series,interval,t0_s,value`) for every link
-    /// utilization and slot occupancy series.
-    pub fn csv_rows(&self, app: &str, side: &str) -> String {
+    /// CSV field records (`app,side,series,interval,t0_s,value`) for
+    /// every link utilization and slot occupancy series. Records come
+    /// back unjoined: quoting/escaping lives in the `pic-bench` CSV
+    /// writer.
+    pub fn csv_records(&self, app: &str, side: &str) -> Vec<Vec<String>> {
         let dt = self.dt_s();
-        let mut out = String::new();
-        for link in LinkClass::ALL {
-            let s = &self.links[link.label()];
-            for (i, u) in s.util.iter().enumerate() {
-                let _ = writeln!(
-                    out,
-                    "{app},{side},link:{},{i},{},{}",
-                    link.label(),
+        let mut out = Vec::new();
+        let mut push = |series: String, values: &[f64]| {
+            for (i, v) in values.iter().enumerate() {
+                out.push(vec![
+                    app.to_string(),
+                    side.to_string(),
+                    series.clone(),
+                    i.to_string(),
                     fmt_f64(i as f64 * dt),
-                    fmt_f64(*u)
-                );
+                    fmt_f64(*v),
+                ]);
             }
+        };
+        for link in LinkClass::ALL {
+            push(
+                format!("link:{}", link.label()),
+                &self.links[link.label()].util,
+            );
         }
         for (group, s) in &self.slots {
-            for (i, o) in s.occupancy.iter().enumerate() {
-                let _ = writeln!(
-                    out,
-                    "{app},{side},slots:{group},{i},{},{}",
-                    fmt_f64(i as f64 * dt),
-                    fmt_f64(*o)
-                );
-            }
+            push(format!("slots:{group}"), &s.occupancy);
         }
         out
     }
@@ -962,11 +952,13 @@ mod tests {
         ledger.add_over(TrafficClass::Broadcast, 500, 0.0, 1.0);
         tracer.end_at(root, 4.0);
         let r = UtilizationReport::with_intervals(&tracer.trace(), &ClusterSpec::small(), 8);
-        let csv = r.csv_rows("kmeans", "pic");
+        let records = r.csv_records("kmeans", "pic");
         // 4 links + 1 slot group, 8 intervals each.
-        assert_eq!(csv.lines().count(), 5 * 8);
-        assert!(csv.contains("kmeans,pic,link:bisection,0,"));
-        assert!(csv.contains("kmeans,pic,slots:solve,"));
+        assert_eq!(records.len(), 5 * 8);
+        assert!(records
+            .iter()
+            .any(|rec| rec[..4] == ["kmeans", "pic", "link:bisection", "0"]));
+        assert!(records.iter().any(|rec| rec[2] == "slots:solve"));
         let tracks = r.counter_tracks();
         assert_eq!(tracks.len(), 5);
         assert!(tracks.iter().any(|t| t.name == "util:nic"));
