@@ -25,13 +25,27 @@
 //! ```text
 //! pic timeline --scale 0.05 --apps kmeans --width 48
 //! ```
+//!
+//! The `explain` subcommand replays a recorded run under counterfactual
+//! scenario edits — scaled link capacities, zeroed traffic classes,
+//! clamped stragglers, instant merge — and prints the ranked
+//! bottleneck-attribution table, IC vs PIC (DESIGN.md §15):
+//!
+//! ```text
+//! pic explain kmeans --scale 0.05 --top 8
+//! ```
 
 use pic_bench::experiments::common::cost;
-use pic_bench::experiments::{chaos, report as perf, tenancy, ExperimentCtx};
-use pic_bench::table::{fmt_bytes, fmt_secs, fmt_x, Table};
+use pic_bench::experiments::{chaos, explain, report as perf, tenancy, ExperimentCtx};
+use pic_bench::table::{csv_row, fmt_bytes, fmt_secs, fmt_x, Table};
 use pic_core::prelude::*;
 use pic_mapreduce::{Dataset, Engine};
 use pic_simnet::{ClusterSpec, TrafficClass};
+
+/// Every non-app subcommand `main` dispatches on, in dispatch order.
+/// The unknown-name error lists these so a typo'd subcommand is
+/// recoverable without `--help`.
+const SUBCOMMANDS: [&str; 6] = ["report", "timeline", "chaos", "tenancy", "diff", "explain"];
 
 #[derive(Debug)]
 struct Args {
@@ -169,7 +183,18 @@ fn usage(err: &str) -> ! {
          flags:\n\
            --epsilon <e>        relative tolerance for simulated seconds (default 1e-9)\n\
            --top <n>            rows in the ranked segment table (default 15)\n\
-           --json <path>        write the machine-readable attribution here"
+           --json <path>        write the machine-readable attribution here\n\
+         \n\
+         usage: pic explain [apps..] [flags] — counterfactual bottleneck attribution (DESIGN.md §15)\n\
+         \n\
+         flags:\n\
+           --scale <f>          workload scale multiplier (default 1.0)\n\
+           --side <s>           ic | pic | both — tables and CSV rows to print (default both)\n\
+           --scenarios <a,b,..> subset of the scenario catalog (default all)\n\
+           --top <n>            rows per ranked table (default 10, 0 = all)\n\
+           --json <path>        write the full projection document (both sides, with phases)\n\
+           --csv <path>         write the ranked tables as CSV\n\
+           --list-scenarios     print the valid scenario names and exit"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -651,6 +676,128 @@ fn run_diff(argv: &[String]) -> ! {
     std::process::exit(if report.is_empty() { 0 } else { 1 });
 }
 
+/// `pic explain`: replay the recorded runs under counterfactual edits
+/// and print the ranked bottleneck-attribution tables (DESIGN.md §15).
+/// Pure trace post-processing — nothing is re-simulated, so the output
+/// is a deterministic function of the runs.
+fn run_explain(argv: &[String]) -> ! {
+    use pic_simnet::whatif::{Scenario, SensitivityReport, CATALOG};
+
+    let mut ctx = ExperimentCtx::default();
+    let mut apps: Vec<String> = Vec::new();
+    let mut side = "both".to_string();
+    let mut scenarios: Vec<Scenario> = CATALOG.to_vec();
+    let mut top = 10usize;
+    let mut json_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| usage("flag needs a value"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--list-scenarios" => {
+                for name in Scenario::names() {
+                    println!("{name}");
+                }
+                std::process::exit(0);
+            }
+            "--scale" => {
+                ctx.scale = take(&mut i).parse().unwrap_or_else(|_| usage("--scale"));
+                if !(ctx.scale > 0.0) {
+                    usage("--scale must be positive");
+                }
+            }
+            "--side" => {
+                side = take(&mut i);
+                if !["ic", "pic", "both"].contains(&side.as_str()) {
+                    usage("--side wants ic | pic | both");
+                }
+            }
+            "--scenarios" => {
+                scenarios = take(&mut i)
+                    .split(',')
+                    .map(|s| {
+                        let name = s.trim();
+                        Scenario::parse(name).unwrap_or_else(|| {
+                            usage(&format!(
+                                "unknown scenario '{name}'; valid scenarios: {}",
+                                Scenario::names().join(", ")
+                            ))
+                        })
+                    })
+                    .collect();
+            }
+            "--top" => top = take(&mut i).parse().unwrap_or_else(|_| usage("--top")),
+            "--json" => json_path = Some(take(&mut i)),
+            "--csv" => csv_path = Some(take(&mut i)),
+            "--help" | "-h" => usage(""),
+            flag if flag.starts_with("--") => usage(&format!("unknown flag '{flag}'")),
+            app => apps.push(app.to_string()),
+        }
+        i += 1;
+    }
+    if apps.is_empty() {
+        apps = perf::APPS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let app_refs: Vec<&str> = apps.iter().map(String::as_str).collect();
+    let runs = perf::collect(&ctx, &app_refs).unwrap_or_else(|e| usage(&e));
+    let sections = explain::sections(&runs, &scenarios);
+
+    for s in &sections {
+        match side.as_str() {
+            "ic" => {
+                println!("=== {} (ic) — bottleneck attribution ===", s.app);
+                print!("{}", s.ic.render(top));
+            }
+            "pic" => {
+                println!("=== {} (pic) — bottleneck attribution ===", s.app);
+                print!("{}", s.pic.render(top));
+            }
+            _ => print!("{}", explain::render_side_by_side(s, top)),
+        }
+        println!();
+    }
+
+    if let Some(path) = &json_path {
+        // The JSON artifact always carries both sides with phase
+        // breakdowns — `--side` narrows the printed tables and CSV only.
+        let doc = explain::explain_json(&ctx, &sections);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[pic explain] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[pic explain] wrote {path} ({} bytes)", doc.len());
+    }
+
+    if let Some(path) = &csv_path {
+        let mut doc = String::from(SensitivityReport::csv_header());
+        doc.push('\n');
+        for s in &sections {
+            for (sd, report) in [("ic", &s.ic), ("pic", &s.pic)] {
+                if side != "both" && side != sd {
+                    continue;
+                }
+                for rec in report.csv_records(&s.app, sd) {
+                    doc.push_str(&csv_row(&rec));
+                    doc.push('\n');
+                }
+            }
+        }
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[pic explain] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[pic explain] wrote {path} ({} bytes)", doc.len());
+    }
+    std::process::exit(0);
+}
+
 /// Run one app through both drivers and print the comparison.
 fn report<A: PicApp + QualityProbe>(
     spec: &ClusterSpec,
@@ -742,6 +889,7 @@ fn main() {
         Some("chaos") => run_chaos(&argv[1..]),
         Some("tenancy") => run_tenancy(&argv[1..]),
         Some("diff") => run_diff(&argv[1..]),
+        Some("explain") => run_explain(&argv[1..]),
         Some("--list-apps") => {
             for app in perf::APPS {
                 println!("{app}");
@@ -834,8 +982,9 @@ fn main() {
             );
         }
         other => usage(&format!(
-            "unknown app '{other}'; valid apps: {}",
-            perf::APPS.join(", ")
+            "unknown app or subcommand '{other}'; valid apps: {}; valid subcommands: {}",
+            perf::APPS.join(", "),
+            SUBCOMMANDS.join(", ")
         )),
     }
 }

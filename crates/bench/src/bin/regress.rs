@@ -21,7 +21,7 @@
 //! diffing (how the committed file is regenerated after an intentional
 //! performance change).
 
-use pic_bench::experiments::{chaos, report as perf, tenancy, ExperimentCtx};
+use pic_bench::experiments::{chaos, explain, report as perf, tenancy, ExperimentCtx};
 use pic_bench::json;
 
 struct Flags {
@@ -34,6 +34,7 @@ struct Flags {
     util_csv: Option<String>,
     chaos_csv: Option<String>,
     tenancy_csv: Option<String>,
+    explain_csv: Option<String>,
     profile_host: bool,
 }
 
@@ -44,7 +45,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: regress [--baseline <path>] [--scale <f>] [--out <path>] \
          [--epsilon <e>] [--csv <path>] [--util-csv <path>] \
-         [--chaos-csv <path>] [--tenancy-csv <path>] [--update]\n\n\
+         [--chaos-csv <path>] [--tenancy-csv <path>] \
+         [--explain-csv <path>] [--update]\n\n\
          Runs the pic-report suite plus the fault-injection campaign and\n\
          the multi-tenant packing stream, and diffs the fresh\n\
          BENCH_pic.json against the committed baseline (exact for\n\
@@ -53,7 +55,9 @@ fn usage(err: &str) -> ! {
          band — host_* ignored). --update rewrites the baseline. --csv also\n\
          writes the convergence curves as CSV; --util-csv the utilization\n\
          series; --chaos-csv the quality-under-failure campaign cells;\n\
-         --tenancy-csv the per-job rows of the mixed tenancy stream.\n\
+         --tenancy-csv the per-job rows of the mixed tenancy stream;\n\
+         --explain-csv the ranked counterfactual bottleneck tables\n\
+         (DESIGN.md §15).\n\
          --profile-host records host-side stage timings around the suite\n\
          and embeds them as the (gate-ignored) host_profile section.\n\
          Defaults: --baseline BENCH_pic.json --scale 0.05\n\
@@ -73,6 +77,7 @@ fn parse_flags() -> Flags {
         util_csv: None,
         chaos_csv: None,
         tenancy_csv: None,
+        explain_csv: None,
         profile_host: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -100,6 +105,7 @@ fn parse_flags() -> Flags {
             "--util-csv" => flags.util_csv = Some(take(&mut i)),
             "--chaos-csv" => flags.chaos_csv = Some(take(&mut i)),
             "--tenancy-csv" => flags.tenancy_csv = Some(take(&mut i)),
+            "--explain-csv" => flags.explain_csv = Some(take(&mut i)),
             "--update" => flags.update = true,
             "--profile-host" => flags.profile_host = true,
             "--help" | "-h" => usage(""),
@@ -190,6 +196,16 @@ fn main() {
             std::process::exit(2);
         });
         eprintln!("[regress] wrote tenancy per-job rows to {path}");
+    }
+
+    if let Some(path) = &flags.explain_csv {
+        let sections = explain::sections(&runs, &pic_simnet::whatif::CATALOG);
+        let doc = explain::explain_csv(&sections);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[regress] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[regress] wrote counterfactual bottleneck tables to {path}");
     }
 
     if flags.update {

@@ -1,0 +1,269 @@
+//! The `pic explain` pipeline: counterfactual bottleneck attribution
+//! for the IC and PIC runs of each app (DESIGN.md §15).
+//!
+//! [`crate::experiments::report::collect`] produces the recorded runs;
+//! this module projects the scenario catalog (or a user-selected
+//! subset) over both traces with [`pic_simnet::whatif`] and renders the
+//! result three ways: an IC-vs-PIC side-by-side terminal table, a
+//! deterministic JSON document (byte-identical across rayon pool
+//! widths — everything is a pure function of the simulated traces), and
+//! the ranked-table CSV artifact CI uploads.
+
+use super::report::AppRun;
+use super::ExperimentCtx;
+use crate::table::csv_row;
+use pic_simnet::report::fmt_f64;
+use pic_simnet::whatif::{Scenario, SensitivityReport};
+use std::fmt::Write as _;
+
+/// Both sides' ranked sensitivity tables for one app.
+#[derive(Debug, Clone)]
+pub struct ExplainSection {
+    /// Application name.
+    pub app: String,
+    /// The IC baseline run's table.
+    pub ic: SensitivityReport,
+    /// The PIC run's table.
+    pub pic: SensitivityReport,
+}
+
+/// Project `scenarios` over one side of a collected run (`"ic"` or
+/// `"pic"`), feeding that side's quality curve so time-to-quality
+/// projections ride along.
+pub fn sensitivity(run: &AppRun, side: &str, scenarios: &[Scenario]) -> Option<SensitivityReport> {
+    match side {
+        "ic" => SensitivityReport::from_trace(
+            &run.ic_trace,
+            &run.spec,
+            &run.quality.ic_curve,
+            scenarios,
+        ),
+        "pic" => SensitivityReport::from_trace(
+            &run.pic_trace,
+            &run.spec,
+            &run.quality.pic_curve,
+            scenarios,
+        ),
+        _ => None,
+    }
+}
+
+/// Build the explain sections for every collected run.
+///
+/// # Panics
+/// Panics if a run's trace has no root span — collected runs always
+/// trace a driver root, so that would be a harness bug.
+pub fn sections(runs: &[AppRun], scenarios: &[Scenario]) -> Vec<ExplainSection> {
+    runs.iter()
+        .map(|run| ExplainSection {
+            app: run.app.to_string(),
+            ic: sensitivity(run, "ic", scenarios).expect("collected run has a root span"),
+            pic: sensitivity(run, "pic", scenarios).expect("collected run has a root span"),
+        })
+        .collect()
+}
+
+/// IC-vs-PIC side-by-side table for one app, rows in IC rank order; at
+/// most `top` rows (0 = all). "PIC's win is X bisection relief, Y merge
+/// overlap" read straight off the Δ columns.
+pub fn render_side_by_side(section: &ExplainSection, top: usize) -> String {
+    let shown = if top == 0 {
+        section.ic.rows.len()
+    } else {
+        top.min(section.ic.rows.len())
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== {} — bottleneck attribution (baseline IC {:.6} s, PIC {:.6} s) ===",
+        section.app, section.ic.baseline_makespan_s, section.pic.baseline_makespan_s
+    );
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>15} {:>15} {:>12} {:>12}  {:<20}",
+        "scenario",
+        "IC Δmakespan(s)",
+        "PIC Δmakespan(s)",
+        "IC Δtt10(s)",
+        "PIC Δtt10(s)",
+        "binding (ic/pic)"
+    );
+    let dtt10 = |report: &SensitivityReport, name: &str| -> String {
+        report
+            .rows
+            .iter()
+            .find(|r| r.scenario.name == name)
+            .and_then(|r| {
+                r.delta_tt_s
+                    .iter()
+                    .find(|(l, _)| *l == "10pct")
+                    .and_then(|(_, v)| *v)
+            })
+            .map_or("-".to_string(), |v| format!("{v:.6}"))
+    };
+    for row in &section.ic.rows[..shown] {
+        let name = row.scenario.name;
+        let pic_row = section.pic.rows.iter().find(|r| r.scenario.name == name);
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>15.6} {:>15} {:>12} {:>12}  {:<20}",
+            name,
+            row.delta_makespan_s,
+            pic_row.map_or("-".to_string(), |r| format!("{:.6}", r.delta_makespan_s)),
+            dtt10(&section.ic, name),
+            dtt10(&section.pic, name),
+            format!("{}/{}", row.binding, pic_row.map_or("-", |r| r.binding)),
+        );
+    }
+    if shown < section.ic.rows.len() {
+        let _ = writeln!(out, "  … {} more scenarios", section.ic.rows.len() - shown);
+    }
+    out
+}
+
+/// The deterministic `pic explain --json` document: scale, then one
+/// entry per app with both sides' full tables (phase breakdowns
+/// included). Byte-identical across rayon pool widths.
+pub fn explain_json(ctx: &ExperimentCtx, sections: &[ExplainSection]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"suite\": \"pic-explain\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", fmt_f64(ctx.scale)));
+    out.push_str("  \"apps\": [\n");
+    for (i, s) in sections.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"app\": \"{}\",\n", s.app));
+        out.push_str("      \"ic\": ");
+        out.push_str(s.ic.to_json(6, true).trim_start());
+        out.push_str(",\n");
+        out.push_str("      \"pic\": ");
+        out.push_str(s.pic.to_json(6, true).trim_start());
+        out.push('\n');
+        out.push_str(if i + 1 < sections.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// The ranked-table CSV artifact
+/// (`app,side,rank,scenario,projected_makespan_s,delta_makespan_s,
+/// tt_10pct_s,delta_tt_10pct_s,binding,clamped`), both sides of every
+/// app.
+pub fn explain_csv(sections: &[ExplainSection]) -> String {
+    let mut out = String::from(SensitivityReport::csv_header());
+    out.push('\n');
+    for s in sections {
+        for (side, report) in [("ic", &s.ic), ("pic", &s.pic)] {
+            for rec in report.csv_records(&s.app, side) {
+                out.push_str(&csv_row(&rec));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::report::collect;
+    use crate::json;
+    use pic_simnet::whatif::CATALOG;
+
+    fn kmeans_sections() -> Vec<ExplainSection> {
+        let runs = collect(&ExperimentCtx { scale: 0.01 }, &["kmeans"]).unwrap();
+        sections(&runs, &CATALOG)
+    }
+
+    /// The acceptance invariant: the bisection-saturated IC fig2 k-means
+    /// run projects a strictly shorter makespan under ×2 bisection, and
+    /// its delta is strictly larger than the (less saturated) PIC run's.
+    #[test]
+    fn doubling_bisection_helps_ic_strictly_more_than_pic() {
+        let s = &kmeans_sections()[0];
+        let delta = |report: &SensitivityReport| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.scenario.name == "bisection-x2")
+                .expect("bisection-x2 in catalog")
+                .delta_makespan_s
+        };
+        let (ic, pic) = (delta(&s.ic), delta(&s.pic));
+        assert!(ic > 0.0, "IC must project a strictly shorter makespan");
+        assert!(
+            ic > pic,
+            "IC (saturated longer) must move more than PIC: ic {ic} vs pic {pic}"
+        );
+    }
+
+    /// Identity projects exactly zero delta on every reported field,
+    /// and every scenario's projection respects its compute lower bound.
+    #[test]
+    fn identity_is_exact_and_bounds_hold_on_real_runs() {
+        for s in &kmeans_sections() {
+            for (side, report) in [("ic", &s.ic), ("pic", &s.pic)] {
+                let id = report
+                    .rows
+                    .iter()
+                    .find(|r| r.scenario.name == "identity")
+                    .unwrap();
+                assert_eq!(id.delta_makespan_s, 0.0, "{side}");
+                assert_eq!(id.makespan_s, report.baseline_makespan_s, "{side}");
+                for (_, d) in &id.delta_tt_s {
+                    assert_eq!(*d, Some(0.0), "{side}");
+                }
+                for row in &report.rows {
+                    assert!(
+                        row.makespan_s >= row.lower_bound_s - 1e-12,
+                        "{side}/{}: {} < bound {}",
+                        row.scenario.name,
+                        row.makespan_s,
+                        row.lower_bound_s
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn side_by_side_and_artifacts_serialize() {
+        let ctx = ExperimentCtx { scale: 0.01 };
+        let secs = kmeans_sections();
+        let text = render_side_by_side(&secs[0], 5);
+        assert!(text.contains("kmeans — bottleneck attribution"));
+        assert!(text.contains("identity"));
+        assert!(text.contains("… 13 more scenarios"));
+
+        let doc = explain_json(&ctx, &secs);
+        let parsed = json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("scale").unwrap().as_f64(), Some(0.01));
+        let apps = match parsed.get("apps").unwrap() {
+            json::Json::Arr(a) => a,
+            other => panic!("apps not an array: {other:?}"),
+        };
+        assert_eq!(apps[0].get("app").unwrap().as_str(), Some("kmeans"));
+        for side in ["ic", "pic"] {
+            let t = apps[0].get(side).unwrap();
+            assert!(t.get("baseline_makespan_s").unwrap().as_f64().unwrap() > 0.0);
+            let rows = match t.get("scenarios").unwrap() {
+                json::Json::Arr(a) => a,
+                other => panic!("scenarios not an array: {other:?}"),
+            };
+            assert_eq!(rows.len(), CATALOG.len());
+            assert!(rows[0].get("phases").is_some(), "explain JSON keeps phases");
+        }
+
+        let csv = explain_csv(&secs);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("app,side,rank,scenario"));
+        assert_eq!(csv.lines().count(), 1 + 2 * CATALOG.len());
+        assert!(csv.contains("\nkmeans,ic,1,"));
+        assert!(csv.contains("\nkmeans,pic,1,"));
+    }
+}

@@ -9,6 +9,7 @@
 pub mod ablation;
 pub mod chaos;
 pub mod common;
+pub mod explain;
 pub mod fig2;
 pub mod report;
 pub mod speedups;

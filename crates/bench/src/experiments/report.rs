@@ -314,6 +314,27 @@ pub fn bench_json(
         out.push_str("        \"pic\": ");
         out.push_str(run.pic_utilization().to_json(8).trim_start());
         out.push('\n');
+        out.push_str("      },\n");
+        // Schema v7: the ranked counterfactual bottleneck table
+        // (DESIGN.md §15). Scalar rows only — the per-phase breakdowns
+        // live in the `pic explain --json` artifact, not the gate.
+        out.push_str("      \"sensitivity\": {\n");
+        out.push_str("        \"ic\": ");
+        out.push_str(
+            super::explain::sensitivity(run, "ic", &pic_simnet::whatif::CATALOG)
+                .expect("collected run has a root span")
+                .to_json(8, false)
+                .trim_start(),
+        );
+        out.push_str(",\n");
+        out.push_str("        \"pic\": ");
+        out.push_str(
+            super::explain::sensitivity(run, "pic", &pic_simnet::whatif::CATALOG)
+                .expect("collected run has a root span")
+                .to_json(8, false)
+                .trim_start(),
+        );
+        out.push('\n');
         out.push_str("      }\n");
         out.push_str(if i + 1 < runs.len() {
             "    },\n"
@@ -510,6 +531,46 @@ mod tests {
         assert!(
             diffs.iter().any(|d| d.contains("ic_iterations")),
             "drifted ic_iterations not flagged: {diffs:?}"
+        );
+    }
+
+    /// Schema v7: every app carries a `sensitivity` section with both
+    /// sides' ranked scenario tables, and the gate catches drift in a
+    /// projected delta (wide 100x band, still finite).
+    #[test]
+    fn sensitivity_section_is_present_and_gated() {
+        let ctx = ExperimentCtx { scale: 0.01 };
+        let doc = bench_json(&ctx, &linsolve_runs(), &[], None, None);
+        let baseline = json::parse(&doc).unwrap();
+        let apps = match baseline.get("apps").unwrap() {
+            json::Json::Arr(a) => a,
+            other => panic!("apps not an array: {other:?}"),
+        };
+        let sens = apps[0].get("sensitivity").unwrap();
+        for side in ["ic", "pic"] {
+            let t = sens.get(side).unwrap();
+            assert!(t.get("baseline_makespan_s").unwrap().as_f64().unwrap() > 0.0);
+            let rows = match t.get("scenarios").unwrap() {
+                json::Json::Arr(a) => a,
+                other => panic!("scenarios not an array: {other:?}"),
+            };
+            assert_eq!(rows.len(), pic_simnet::whatif::CATALOG.len());
+            // Gate rows are scalar-only: phase breakdowns stay out of
+            // BENCH_pic.json.
+            assert!(rows[0].get("phases").is_none());
+            assert!(rows[0].get("binding").unwrap().as_str().is_some());
+        }
+
+        // Drift a projected delta well past even the 100x band.
+        let key = r#""delta_makespan_s": "#;
+        let start = doc.find(key).expect("delta_makespan_s in json") + key.len();
+        let end = start + doc[start..].find(',').unwrap();
+        let v: f64 = doc[start..end].trim().parse().unwrap();
+        let drifted = format!("{}{}{}", &doc[..start], v + 1.0, &doc[end..]);
+        let diffs = json::diff(&baseline, &json::parse(&drifted).unwrap(), 1e-6);
+        assert!(
+            diffs.iter().any(|d| d.contains("delta_makespan_s")),
+            "drifted delta_makespan_s not flagged: {diffs:?}"
         );
     }
 

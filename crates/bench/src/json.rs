@@ -254,10 +254,14 @@ fn is_toleranced(key: &str) -> bool {
 /// Recovery cost and the time-to-quality penalty are *differences* of
 /// two run durations, so legitimate timing jitter that cancels out of
 /// either total is amplified in them; DESIGN.md §12 gives these keys a
-/// 100x-wider band. Everything else keeps the base epsilon.
+/// 100x-wider band. The counterfactual `sensitivity` deltas (schema v7,
+/// DESIGN.md §15) are the same shape — a projected duration minus a
+/// recorded one — so they share it. Everything else keeps the base
+/// epsilon.
 fn band_multiplier(key: &str) -> f64 {
     match key {
-        "recovery_s" | "tt_quality_delta_s" => 100.0,
+        "recovery_s" | "tt_quality_delta_s" | "delta_makespan_s" => 100.0,
+        k if k.starts_with("delta_tt_") && k.ends_with("pct_s") => 100.0,
         _ => 1.0,
     }
 }
@@ -438,6 +442,27 @@ mod tests {
             d[0].contains("$.recovery_s") && d[0].contains("epsilon"),
             "{d:?}"
         );
+    }
+
+    #[test]
+    fn sensitivity_delta_keys_get_the_wider_band() {
+        // Counterfactual deltas are duration differences like recovery
+        // cost; they share the 100x band. Projected absolutes do not.
+        for key in ["delta_makespan_s", "delta_tt_1pct_s", "delta_tt_10pct_s"] {
+            assert!(is_toleranced(key), "{key} must be banded");
+            assert_eq!(band_multiplier(key), 100.0, "{key} gets the wide band");
+        }
+        for key in ["projected_makespan_s", "tt_10pct_s", "lower_bound_s"] {
+            assert!(is_toleranced(key), "{key} must be banded");
+            assert_eq!(band_multiplier(key), 1.0, "{key} gets the base band");
+        }
+        let a = obj(r#"{"delta_makespan_s": 2.0, "projected_makespan_s": 30.0}"#);
+        let mild = obj(r#"{"delta_makespan_s": 2.0000002, "projected_makespan_s": 30.0}"#);
+        assert!(diff(&a, &mild, 1e-9).is_empty(), "inside the 100x band");
+        let wild = obj(r#"{"delta_makespan_s": 2.1, "projected_makespan_s": 30.0}"#);
+        let d = diff(&a, &wild, 1e-9);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("$.delta_makespan_s"), "{d:?}");
     }
 
     /// The Chrome trace export (spans, instants, counter tracks,

@@ -453,7 +453,8 @@ mod tests {
         disable();
         let map = prof.get(Stage::Map).expect("map recorded");
         assert_eq!(map.calls, 5);
-        assert_eq!(map.bytes, 50 + 0 + 1 + 2 + 3 + 4);
+        // 10 bytes per call plus the call index (0..=4).
+        assert_eq!(map.bytes, 60);
         assert!(map.total_s >= 0.0 && map.total_s.is_finite());
         assert!(map.max_s >= map.p95_s && map.p95_s >= map.p50_s);
         assert_eq!(prof.get(Stage::Reduce).unwrap().calls, 1);

@@ -35,6 +35,11 @@
 //!   timers over the engine/DFS/event-queue/driver hot paths with a
 //!   zero-cost disabled path, feeding the `BENCH_host.csv` trend gate
 //!   and `pic diff` host-stage attribution ([`HostProfile`]).
+//! * [`whatif`] — counterfactual projection over recorded traces:
+//!   declarative scenario edits (scale a link, zero a traffic class,
+//!   drop stragglers, instant merge) replayed as time warps over the
+//!   saturated charge windows, ranked into a [`SensitivityReport`]
+//!   bottleneck table (the `pic explain` subcommand).
 //! * [`tenancy`] — multi-tenant job streams: a seeded Poisson-ish
 //!   workload generator over 1k–10k-node presets and a cluster-level
 //!   scheduler ([`ClusterScheduler`]) with FIFO admission, weighted fair
@@ -60,6 +65,7 @@ pub mod topology;
 pub mod trace;
 pub mod traffic;
 pub mod transfer;
+pub mod whatif;
 
 pub use chaos::{ChaosInjector, FaultEvent, FaultPlan};
 pub use clock::SimClock;
@@ -77,3 +83,4 @@ pub use timeline::{LinkClass, LinkSeries, Saturation, SlotSeries, UtilizationRep
 pub use topology::{ClusterSpec, NodeId, RackId};
 pub use trace::{CounterTrack, MetricsRegistry, Payload, Trace, Tracer};
 pub use traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};
+pub use whatif::{Edit, Projection, Scenario, SensitivityReport, TimeWarp, WhatIf};

@@ -39,8 +39,10 @@ use std::fmt::Write as _;
 /// time-to-quality and packing density (DESIGN.md §13); version 6 added
 /// the top-level `host_profile` section — per-stage host wall-clock from
 /// [`crate::hostprof`], skipped by the differ like every `host_` key
-/// (DESIGN.md §14).
-pub const REPORT_SCHEMA_VERSION: u64 = 6;
+/// (DESIGN.md §14); version 7 added the per-app `sensitivity` section —
+/// the ranked counterfactual bottleneck table from [`crate::whatif`]
+/// (DESIGN.md §15).
+pub const REPORT_SCHEMA_VERSION: u64 = 7;
 
 /// Span categories that mark one driver-level iteration; traffic is
 /// attributed to the nearest enclosing span with one of these cats.
@@ -1305,6 +1307,74 @@ mod tests {
     }
 
     #[test]
+    fn single_child_slack_is_none_but_tied_siblings_get_zero() {
+        // A lone child has no competitor (slack None); two siblings that
+        // finish at the same instant compete with zero margin (Some(0)).
+        let (t, clock) = tracer();
+        let root = t.begin("root", "job");
+        let solo = t.begin_at("solo", "phase", 0.0);
+        t.span_at_in("x-slot-0", "only", "task", 0.0, 3.0, Vec::new());
+        t.end_at(solo, 3.0);
+        let tied = t.begin_at("tied", "phase", 3.0);
+        t.span_at_in("x-slot-0", "t1", "task", 3.0, 6.0, Vec::new());
+        t.span_at_in("x-slot-1", "t2", "task", 3.0, 6.0, Vec::new());
+        t.end_at(tied, 6.0);
+        clock.lock().advance(6.0);
+        t.end(root);
+        let cp = CriticalPath::from_trace(&t.trace()).unwrap();
+        let only = cp.segments.iter().find(|s| s.name == "only").unwrap();
+        assert_eq!(only.slack_s, None);
+        let winner = cp
+            .segments
+            .iter()
+            .find(|s| s.cat == "task" && s.t0 == 3.0)
+            .unwrap();
+        assert_eq!(winner.slack_s, Some(0.0), "tied siblings, zero margin");
+    }
+
+    #[test]
+    fn zero_duration_root_yields_an_empty_path() {
+        let (t, _clock) = tracer();
+        let root = t.begin("root", "job");
+        t.span_at("blip", "phase", 0.0, 0.0, Vec::new());
+        t.end(root); // clock never advanced: root is zero-duration
+        let cp = CriticalPath::from_trace(&t.trace()).unwrap();
+        assert_eq!(cp.total_s, 0.0);
+        // The zero-width child is skipped; only the (zero-length) root
+        // segment survives, contributing nothing to the rollup.
+        assert_eq!(cp.segments.len(), 1, "{:?}", cp.segments);
+        assert_eq!(cp.segments[0].name, "root");
+        assert_eq!(cp.segments[0].duration_s(), 0.0);
+        assert_eq!(cp.by_cat_s().get("job"), Some(&0.0));
+        // Degenerate paths still render.
+        assert!(cp.render(5).contains("critical path"));
+    }
+
+    #[test]
+    fn by_cat_s_keys_are_stable_across_recording_order() {
+        // Pool width only permutes the order concurrent spans are
+        // recorded in; the rollup must not depend on it.
+        let build = |swap: bool| {
+            let (t, clock) = tracer();
+            let root = t.begin("root", "job");
+            let a = t.begin_at("a", "phase", 0.0);
+            let (first, second) = if swap { ("a2", "a1") } else { ("a1", "a2") };
+            t.span_at_in("x-slot-0", first, "task", 0.0, 2.0, Vec::new());
+            t.span_at_in("x-slot-1", second, "task", 0.0, 4.0, Vec::new());
+            t.end_at(a, 4.0);
+            clock.lock().advance(5.0);
+            t.end(root);
+            CriticalPath::from_trace(&t.trace()).unwrap().by_cat_s()
+        };
+        let (fwd, rev) = (build(false), build(true));
+        let keys: Vec<&String> = fwd.keys().collect();
+        assert_eq!(keys, rev.keys().collect::<Vec<_>>());
+        assert_eq!(fwd, rev, "rollup must be order-independent");
+        assert!(fwd.contains_key("task"));
+        assert!(fwd.contains_key("job (self)"));
+    }
+
+    #[test]
     fn percentiles_nearest_rank() {
         let v = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(nearest_rank(&v, 50.0), 2.0);
@@ -1536,7 +1606,7 @@ mod tests {
         assert_eq!(a, b, "rendering twice must be identical");
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
-        assert!(a.contains("\"schema_version\": 6"));
+        assert!(a.contains("\"schema_version\": 7"));
         assert!(a.contains("\"total_s\": 10"));
         assert!(a.contains("\"phase/a\""));
         assert!(

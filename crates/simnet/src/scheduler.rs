@@ -13,6 +13,7 @@ use crate::event::EventQueue;
 use crate::topology::{ClusterSpec, NodeId};
 use crate::trace::{Payload, Tracer};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Tuning knobs for a scheduling round.
 #[derive(Debug, Clone, Default)]
@@ -154,11 +155,24 @@ impl ScheduleOutcome {
     /// additionally emit a `speculative-launch` sched instant; attempts
     /// killed by a node failure emit a `task-killed` sched instant at
     /// the kill time and are labelled ` (lost)`.
+    ///
+    /// Each span carries a `wave` arg: the attempt's per-slot launch
+    /// index (how many earlier attempts ran on the same slot), matching
+    /// the wave count in waves-style accounting — the straggler
+    /// projection in [`crate::whatif`] clamps task durations to their
+    /// wave's p50 using this arg.
     pub fn emit_task_spans(&self, tracer: &Tracer, t0: f64, lane_prefix: &str, clamp_s: f64) {
         if !tracer.is_enabled() {
             return;
         }
+        let mut per_slot: BTreeMap<usize, u64> = BTreeMap::new();
         for l in &self.launches {
+            let wave = {
+                let n = per_slot.entry(l.slot).or_insert(0);
+                let w = *n;
+                *n += 1;
+                w
+            };
             let lane = format!("{lane_prefix}-slot-{}", l.slot);
             let s0 = t0 + l.start_s.min(clamp_s);
             let s1 = t0 + l.finish_s.min(clamp_s);
@@ -195,6 +209,7 @@ impl ScheduleOutcome {
                 vec![
                     ("task".to_string(), Payload::U64(l.task as u64)),
                     ("node".to_string(), Payload::U64(l.node as u64)),
+                    ("wave".to_string(), Payload::U64(wave)),
                     (
                         "locality".to_string(),
                         Payload::Str(format!("{:?}", l.locality)),
@@ -668,7 +683,7 @@ mod tests {
         // No speculation: exactly one launch per task, consistent with
         // the per-task outcome fields.
         assert_eq!(out.launches.len(), 48);
-        let mut seen = vec![false; 48];
+        let mut seen = [false; 48];
         for l in &out.launches {
             assert!(!l.speculative);
             assert!(!seen[l.task], "task {} launched twice", l.task);

@@ -203,11 +203,51 @@ fn grid_dt(horizon_s: f64, intervals: usize) -> f64 {
 
 /// One ledger charge with its attribution window (`w1 == w0` for
 /// impulse charges).
-struct Charge {
-    class: TrafficClass,
-    bytes: u64,
-    w0: f64,
-    w1: f64,
+#[derive(Debug, Clone, PartialEq)]
+pub struct Charge {
+    /// The traffic class billed.
+    pub class: TrafficClass,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Window start, simulated seconds.
+    pub w0: f64,
+    /// Window end, simulated seconds (`== w0` for impulses).
+    pub w1: f64,
+}
+
+/// Extract every windowed ledger charge from `trace` (the `traffic`
+/// instants recorded by [`crate::traffic::TrafficLedger`]) along with
+/// the timeline horizon (max over span ends, instant timestamps and
+/// charge-window ends). Shared by the utilization grid, the exact
+/// saturation sweep and the `whatif` projection engine.
+pub fn collect_charges(trace: &Trace) -> (Vec<Charge>, f64) {
+    let mut charges: Vec<Charge> = Vec::new();
+    let mut horizon = 0.0f64;
+    for s in &trace.spans {
+        horizon = horizon.max(s.t1).max(s.t0);
+    }
+    for i in &trace.instants {
+        horizon = horizon.max(i.t);
+        if i.cat != "traffic" {
+            continue;
+        }
+        let Some(class) = TrafficClass::from_label(&i.name) else {
+            continue;
+        };
+        let bytes = i.arg_u64("bytes").unwrap_or(0);
+        let (w0, w1) = match (i.arg_f64("w0"), i.arg_f64("w1")) {
+            (Some(a), Some(b)) if b >= a => (a, b),
+            _ => (i.t, i.t),
+        };
+        horizon = horizon.max(w1);
+        charges.push(Charge {
+            class,
+            bytes,
+            w0,
+            w1,
+        });
+    }
+    (charges, horizon)
 }
 
 /// Spread `bytes` over `[w0, w1]` on the grid by cumulative rounding:
@@ -285,32 +325,7 @@ impl UtilizationReport {
         assert!(intervals > 0, "need at least one grid interval");
 
         // ---- Collect charges and the horizon. ---------------------------
-        let mut charges: Vec<Charge> = Vec::new();
-        let mut horizon = 0.0f64;
-        for s in &trace.spans {
-            horizon = horizon.max(s.t1).max(s.t0);
-        }
-        for i in &trace.instants {
-            horizon = horizon.max(i.t);
-            if i.cat != "traffic" {
-                continue;
-            }
-            let Some(class) = TrafficClass::from_label(&i.name) else {
-                continue;
-            };
-            let bytes = i.arg_u64("bytes").unwrap_or(0);
-            let (w0, w1) = match (i.arg_f64("w0"), i.arg_f64("w1")) {
-                (Some(a), Some(b)) if b >= a => (a, b),
-                _ => (i.t, i.t),
-            };
-            horizon = horizon.max(w1);
-            charges.push(Charge {
-                class,
-                bytes,
-                w0,
-                w1,
-            });
-        }
+        let (charges, horizon) = collect_charges(trace);
         let dt = grid_dt(horizon, intervals);
 
         // ---- Per-class byte series (exact apportionment). ---------------
@@ -414,6 +429,7 @@ impl UtilizationReport {
         let bisection_saturation = saturation_sweep(
             trace,
             &charges,
+            LinkClass::Bisection,
             LinkClass::Bisection.capacity(spec),
             SATURATION_THRESHOLD,
         );
@@ -725,16 +741,20 @@ pub fn render_side_by_side(
 /// define a piecewise-constant byte rate; every maximal segment whose
 /// rate is at or above `threshold × capacity` contributes its length,
 /// attributed to the iteration span kind enclosing it. Impulse charges
-/// have zero width and cannot contribute.
-fn saturation_sweep(
+/// have zero width and cannot contribute. Parameterized by `link` and
+/// `capacity` so the `whatif` engine can re-sweep under scaled
+/// capacities or filtered charge sets; the utilization report calls it
+/// with [`LinkClass::Bisection`] at the topology capacity.
+pub fn saturation_sweep(
     trace: &Trace,
     charges: &[Charge],
+    link: LinkClass,
     capacity: f64,
     threshold: f64,
 ) -> Saturation {
     let windows: Vec<&Charge> = charges
         .iter()
-        .filter(|c| LinkClass::of(c.class) == LinkClass::Bisection)
+        .filter(|c| LinkClass::of(c.class) == link)
         .filter(|c| c.w1 > c.w0 && c.bytes > 0)
         .collect();
     let mut sat = Saturation {
