@@ -34,9 +34,17 @@
 //! ```text
 //! pic explain kmeans --scale 0.05 --top 8
 //! ```
+//!
+//! The `watch` subcommand replays a run through the online monitor
+//! (DESIGN.md §16): sliding-window series, the alert-rule catalog, and
+//! an ASCII dashboard with sparklines and an incident ticker:
+//!
+//! ```text
+//! pic watch kmeans --scale 0.05 --interval 10 --rules stall,saturation
+//! ```
 
 use pic_bench::experiments::common::cost;
-use pic_bench::experiments::{chaos, explain, report as perf, tenancy, ExperimentCtx};
+use pic_bench::experiments::{chaos, explain, report as perf, tenancy, watch, ExperimentCtx};
 use pic_bench::table::{csv_row, fmt_bytes, fmt_secs, fmt_x, Table};
 use pic_core::prelude::*;
 use pic_mapreduce::{Dataset, Engine};
@@ -45,7 +53,43 @@ use pic_simnet::{ClusterSpec, TrafficClass};
 /// Every non-app subcommand `main` dispatches on, in dispatch order.
 /// The unknown-name error lists these so a typo'd subcommand is
 /// recoverable without `--help`.
-const SUBCOMMANDS: [&str; 6] = ["report", "timeline", "chaos", "tenancy", "diff", "explain"];
+const SUBCOMMANDS: [&str; 8] = [
+    "report", "timeline", "chaos", "tenancy", "diff", "explain", "watch", "help",
+];
+
+/// One-line summary per subcommand, same order as [`SUBCOMMANDS`] —
+/// `pic help` (and bare `pic`) renders this table.
+const SUBCOMMAND_SUMMARIES: [(&str, &str); 8] = [
+    (
+        "report",
+        "trace-driven perf analysis and BENCH_pic.json (DESIGN.md §9)",
+    ),
+    (
+        "timeline",
+        "utilization heatmaps, IC vs PIC (DESIGN.md §11)",
+    ),
+    (
+        "chaos",
+        "fault-injection campaign, IC vs PIC (DESIGN.md §12)",
+    ),
+    (
+        "tenancy",
+        "multi-tenant job stream through the cluster scheduler (DESIGN.md §13)",
+    ),
+    (
+        "diff",
+        "attribute the delta between two BENCH_pic.json documents (DESIGN.md §14)",
+    ),
+    (
+        "explain",
+        "counterfactual bottleneck attribution (DESIGN.md §15)",
+    ),
+    (
+        "watch",
+        "online monitor replay: dashboard, alert rules, incident log (DESIGN.md §16)",
+    ),
+    ("help", "print this subcommand table"),
+];
 
 #[derive(Debug)]
 struct Args {
@@ -194,7 +238,22 @@ fn usage(err: &str) -> ! {
            --top <n>            rows per ranked table (default 10, 0 = all)\n\
            --json <path>        write the full projection document (both sides, with phases)\n\
            --csv <path>         write the ranked tables as CSV\n\
-           --list-scenarios     print the valid scenario names and exit"
+           --list-scenarios     print the valid scenario names and exit\n\
+         \n\
+         usage: pic watch [apps..] [flags] — online monitor replay (DESIGN.md §16)\n\
+         \n\
+         flags:\n\
+           --scale <f>          workload scale multiplier (default 1.0)\n\
+           --rules <a,b,..>     alert rules to evaluate (default the full catalog)\n\
+           --window <s>         sliding-window length, simulated seconds (default 5)\n\
+           --interval <s>       render a dashboard frame every <s> simulated seconds\n\
+           --width <n>          sparkline cells per series (default 48)\n\
+           --json <path>        write the full monitor document (series + incidents)\n\
+           --csv <path>         write the incident log as CSV\n\
+           --metrics <path>     write an OpenMetrics-style text snapshot\n\
+           --list-rules         print the valid rule names and exit\n\
+         \n\
+         usage: pic help — print the subcommand table (also printed by bare `pic`)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -487,7 +546,7 @@ fn run_chaos(argv: &[String]) -> ! {
 
     let mut t = Table::new([
         "app", "scenario", "driver", "clean", "faulty", "recovery", "bytes", "events", "tt-Δ",
-        "exact",
+        "alerts", "exact",
     ]);
     for c in &cells {
         t.row([
@@ -500,6 +559,9 @@ fn run_chaos(argv: &[String]) -> ! {
             &fmt_bytes(c.recovery_bytes),
             &c.injected_events.to_string(),
             &fmt_secs(c.tt_quality_delta_s),
+            // The §16 monitor's incident count for the faulty run; the
+            // clean counterpart is pinned at 0 by the campaign tests.
+            &c.incidents.to_string(),
             if c.exact_result { "yes" } else { "no" },
         ]);
     }
@@ -798,6 +860,130 @@ fn run_explain(argv: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `pic watch`: replay the recorded runs through the online monitor
+/// (DESIGN.md §16) and render the dashboard — optional intermediate
+/// frames, sparkline per series, incident ticker — plus the JSON,
+/// incident-CSV and OpenMetrics exports. Pure trace post-processing, so
+/// every artifact is byte-identical across rayon pool widths.
+fn run_watch(argv: &[String]) -> ! {
+    use pic_simnet::monitor::{parse_rules, CATALOG_RULES};
+
+    let mut ctx = ExperimentCtx::default();
+    let mut apps: Vec<String> = Vec::new();
+    let mut opts = watch::WatchOptions::default();
+    let mut json_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| usage("flag needs a value"))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--list-rules" => {
+                for name in CATALOG_RULES {
+                    println!("{name}");
+                }
+                std::process::exit(0);
+            }
+            "--scale" => {
+                ctx.scale = take(&mut i).parse().unwrap_or_else(|_| usage("--scale"));
+                if !(ctx.scale > 0.0) {
+                    usage("--scale must be positive");
+                }
+            }
+            "--rules" => {
+                opts.rules = parse_rules(&take(&mut i)).unwrap_or_else(|e| usage(&e));
+            }
+            "--window" => {
+                opts.window_s = take(&mut i).parse().unwrap_or_else(|_| usage("--window"));
+                if !(opts.window_s > 0.0) {
+                    usage("--window must be positive");
+                }
+            }
+            "--interval" => {
+                opts.interval_s = take(&mut i).parse().unwrap_or_else(|_| usage("--interval"));
+                if !(opts.interval_s >= 0.0) {
+                    usage("--interval must be non-negative");
+                }
+            }
+            "--width" => {
+                opts.width = take(&mut i).parse().unwrap_or_else(|_| usage("--width"));
+                if opts.width == 0 {
+                    usage("--width must be positive");
+                }
+            }
+            "--json" => json_path = Some(take(&mut i)),
+            "--csv" => csv_path = Some(take(&mut i)),
+            "--metrics" => metrics_path = Some(take(&mut i)),
+            "--help" | "-h" => usage(""),
+            flag if flag.starts_with("--") => usage(&format!("unknown flag '{flag}'")),
+            app => apps.push(app.to_string()),
+        }
+        i += 1;
+    }
+    if apps.is_empty() {
+        apps = perf::APPS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let app_refs: Vec<&str> = apps.iter().map(String::as_str).collect();
+    let runs = perf::collect(&ctx, &app_refs).unwrap_or_else(|e| usage(&e));
+    let sections = watch::sections(&runs, &opts).unwrap_or_else(|e| usage(&e));
+
+    for s in &sections {
+        print!("{}", watch::render_section(s, &opts));
+        println!();
+    }
+
+    if let Some(path) = &json_path {
+        let doc = watch::watch_json(ctx.scale, &opts, &sections);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[pic watch] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[pic watch] wrote {path} ({} bytes)", doc.len());
+    }
+
+    if let Some(path) = &csv_path {
+        let doc = watch::watch_csv(&sections);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[pic watch] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[pic watch] wrote {path} ({} bytes)", doc.len());
+    }
+
+    if let Some(path) = &metrics_path {
+        let doc = watch::watch_metrics(&sections);
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("[pic watch] cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("[pic watch] wrote {path} ({} bytes)", doc.len());
+    }
+    std::process::exit(0);
+}
+
+/// `pic help` (and bare `pic`): render the full subcommand table — the
+/// recoverable version of the unknown-name error — plus the app
+/// launcher line. Exits 0.
+fn run_help() -> ! {
+    println!("pic — partitioned iterative convergence workbench\n");
+    println!("usage: pic <app> [flags]         run one app, IC vs PIC (see `pic --help`)");
+    println!("       pic <subcommand> [flags]  see `pic <subcommand> --help`\n");
+    let mut t = Table::new(["subcommand", "what it does"]);
+    for (name, what) in SUBCOMMAND_SUMMARIES {
+        t.row([name, what]);
+    }
+    println!("{}", t.render());
+    println!("apps: {}", perf::APPS.join(", "));
+    std::process::exit(0);
+}
+
 /// Run one app through both drivers and print the comparison.
 fn report<A: PicApp + QualityProbe>(
     spec: &ClusterSpec,
@@ -890,12 +1076,16 @@ fn main() {
         Some("tenancy") => run_tenancy(&argv[1..]),
         Some("diff") => run_diff(&argv[1..]),
         Some("explain") => run_explain(&argv[1..]),
+        Some("watch") => run_watch(&argv[1..]),
+        Some("help") => run_help(),
         Some("--list-apps") => {
             for app in perf::APPS {
                 println!("{app}");
             }
             std::process::exit(0);
         }
+        // Bare `pic` prints the subcommand table instead of an error.
+        None => run_help(),
         _ => {}
     }
     let args = Args::parse();
@@ -986,5 +1176,23 @@ fn main() {
             perf::APPS.join(", "),
             SUBCOMMANDS.join(", ")
         )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{SUBCOMMANDS, SUBCOMMAND_SUMMARIES};
+
+    /// `pic help` renders SUBCOMMAND_SUMMARIES; main dispatches on
+    /// SUBCOMMANDS. Pin them to each other so a new subcommand cannot
+    /// ship without a help-table row (tests/cli_watch.rs pins the
+    /// rendered output end to end).
+    #[test]
+    fn every_dispatched_subcommand_has_a_help_row() {
+        let summarized: Vec<&str> = SUBCOMMAND_SUMMARIES.iter().map(|(n, _)| *n).collect();
+        assert_eq!(summarized, SUBCOMMANDS);
+        for (_, what) in SUBCOMMAND_SUMMARIES {
+            assert!(!what.is_empty());
+        }
     }
 }

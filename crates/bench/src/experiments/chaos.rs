@@ -18,7 +18,7 @@ use pic_mapreduce::{Dataset, Engine};
 use pic_simnet::chaos::FaultPlan;
 use pic_simnet::report::fmt_f64;
 use pic_simnet::trace::check;
-use pic_simnet::ClusterSpec;
+use pic_simnet::{ClusterSpec, Monitor, MonitorConfig};
 
 /// The fault scenarios of the campaign matrix, in report order.
 pub const SCENARIOS: [&str; 4] = [
@@ -62,6 +62,13 @@ pub struct ChaosCell {
     /// (the crash/degrade/preemption invariant; resize may legitimately
     /// differ).
     pub exact_result: bool,
+    /// Incidents the online monitor (default rule catalog) opened on
+    /// the faulty run — every cell whose plan actually fired must open
+    /// at least one.
+    pub incidents: u64,
+    /// Incidents on the matching clean run — must be exactly zero (the
+    /// monitor is quiet on healthy runs).
+    pub clean_incidents: u64,
 }
 
 /// Build the scenario's fault plan from the clean run's duration
@@ -119,6 +126,7 @@ struct DriverRun<M> {
     model: M,
     recovery_bytes: u64,
     injected_events: usize,
+    incidents: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -178,12 +186,17 @@ where
     let trace = engine.trace();
     let traffic = engine.traffic();
     check::validate(&trace, &traffic).map_err(|es| format!("{who}: {es:?}"))?;
+    // Replay through the online monitor with the default rule catalog:
+    // the incident count couples each cell to the alerting layer.
+    let monitor = Monitor::replay(MonitorConfig::new(spec.clone()), &trace)
+        .map_err(|e| format!("{who}: {e}"))?;
     Ok(DriverRun {
         total_s,
         trajectory,
         model,
         recovery_bytes: traffic.recovery_total(),
         injected_events: engine.chaos().injected_events(),
+        incidents: monitor.incidents.len() as u64,
     })
 }
 
@@ -239,6 +252,8 @@ where
             injected_events: faulty.injected_events,
             tt_quality_delta_s: tt_faulty - tt_clean,
             exact_result: faulty.model == clean_run.model,
+            incidents: faulty.incidents,
+            clean_incidents: clean_run.incidents,
         });
     }
     Ok(cells)
@@ -429,6 +444,11 @@ pub fn cells_json(cells: &[ChaosCell], indent: usize) -> String {
             "{pad}  \"tt_quality_delta_s\": {},\n",
             fmt_f64(c.tt_quality_delta_s)
         ));
+        out.push_str(&format!("{pad}  \"incidents\": {},\n", c.incidents));
+        out.push_str(&format!(
+            "{pad}  \"clean_incidents\": {},\n",
+            c.clean_incidents
+        ));
         out.push_str(&format!("{pad}  \"exact_result\": {}\n", c.exact_result));
         out.push_str(&format!(
             "{pad}}}{}\n",
@@ -441,7 +461,7 @@ pub fn cells_json(cells: &[ChaosCell], indent: usize) -> String {
 /// CSV header for [`chaos_csv`].
 pub fn csv_header() -> &'static str {
     "app,scenario,driver,clean_s,faulty_s,recovery_s,recovery_bytes,injected_events,\
-     tt_quality_delta_s,exact_result"
+     tt_quality_delta_s,incidents,clean_incidents,exact_result"
 }
 
 /// The campaign cells as one CSV document (the CI artifact).
@@ -459,6 +479,8 @@ pub fn chaos_csv(cells: &[ChaosCell]) -> String {
             c.recovery_bytes.to_string(),
             c.injected_events.to_string(),
             fmt_f64(c.tt_quality_delta_s),
+            c.incidents.to_string(),
+            c.clean_incidents.to_string(),
             c.exact_result.to_string(),
         ]));
         out.push('\n');
@@ -502,6 +524,42 @@ mod tests {
         // At least one driver side pays visible recovery.
         assert!(cells.iter().any(|c| c.recovery_bytes > 0));
         assert!(cells.iter().any(|c| c.recovery_s > 0.0));
+    }
+
+    /// The chaos ↔ monitor coupling, pinned per scenario: every cell
+    /// whose fault plan actually fired opens at least one incident,
+    /// every scenario has at least one alerting cell, and the matching
+    /// clean runs open exactly zero — the monitor is quiet on healthy
+    /// runs and loud on every injected fault.
+    #[test]
+    fn every_fired_scenario_alerts_and_clean_runs_stay_quiet() {
+        let cells = campaign(&ExperimentCtx { scale: 0.01 }, &SCENARIOS).unwrap();
+        assert_eq!(cells.len(), CHAOS_APPS.len() * SCENARIOS.len() * 2);
+        for c in &cells {
+            assert_eq!(
+                c.clean_incidents, 0,
+                "{}/{}/{}: clean run must open no incidents",
+                c.app, c.scenario, c.driver
+            );
+            if c.injected_events > 0 {
+                assert!(
+                    c.incidents >= 1,
+                    "{}/{}/{}: {} faults fired but no incident opened",
+                    c.app,
+                    c.scenario,
+                    c.driver,
+                    c.injected_events
+                );
+            }
+        }
+        for scenario in SCENARIOS {
+            assert!(
+                cells
+                    .iter()
+                    .any(|c| c.scenario == scenario && c.incidents >= 1),
+                "scenario {scenario} opened no incidents anywhere"
+            );
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod speedups;
 pub mod tables;
 pub mod tenancy;
 pub mod trajectories;
+pub mod watch;
 
 /// Shared knob: scales every workload's record count. `1.0` is the
 /// default size documented in DESIGN.md; smaller values make smoke runs

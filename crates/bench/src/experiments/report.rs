@@ -16,7 +16,9 @@ use crate::table::csv_row;
 use pic_core::report::TrajectoryPoint;
 use pic_simnet::report::{fmt_f64, PerfReport, QualityPoint, QualityReport, REPORT_SCHEMA_VERSION};
 use pic_simnet::trace::check;
-use pic_simnet::{ClusterSpec, Trace, TrafficSnapshot, UtilizationReport};
+use pic_simnet::{
+    ClusterSpec, Monitor, MonitorConfig, MonitorReport, Trace, TrafficSnapshot, UtilizationReport,
+};
 
 /// The five applications, in report order.
 pub const APPS: [&str; 5] = ["kmeans", "pagerank", "neuralnet", "linsolve", "smoothing"];
@@ -115,6 +117,20 @@ impl AppRun {
     /// Time-resolved utilization of the PIC run.
     pub fn pic_utilization(&self) -> UtilizationReport {
         UtilizationReport::from_trace(&self.pic_trace, &self.spec)
+    }
+
+    /// Online-monitor replay of the IC baseline run with the default
+    /// rule catalog (DESIGN.md §16). Replay equals streaming, so this
+    /// is exactly what a live monitor would have reported.
+    pub fn ic_monitor(&self) -> MonitorReport {
+        Monitor::replay(MonitorConfig::new(self.spec.clone()), &self.ic_trace)
+            .expect("default monitor config is valid")
+    }
+
+    /// Online-monitor replay of the PIC run.
+    pub fn pic_monitor(&self) -> MonitorReport {
+        Monitor::replay(MonitorConfig::new(self.spec.clone()), &self.pic_trace)
+            .expect("default monitor config is valid")
     }
 
     /// Run the full structural suite on both traces (nesting, per-slot
@@ -334,6 +350,23 @@ pub fn bench_json(
                 .to_json(8, false)
                 .trim_start(),
         );
+        out.push('\n');
+        out.push_str("      },\n");
+        // Schema v8: the online-monitor summary (DESIGN.md §16) —
+        // incident counts exact, open durations under the 100× band.
+        // The full series live in the `pic watch --json` artifact.
+        let ic_mon = run.ic_monitor();
+        let pic_mon = run.pic_monitor();
+        out.push_str("      \"monitor\": {\n");
+        out.push_str(&format!(
+            "        \"window_s\": {},\n",
+            fmt_f64(ic_mon.window_s)
+        ));
+        out.push_str("        \"ic\": ");
+        out.push_str(ic_mon.to_json_summary(8).trim_start());
+        out.push_str(",\n");
+        out.push_str("        \"pic\": ");
+        out.push_str(pic_mon.to_json_summary(8).trim_start());
         out.push('\n');
         out.push_str("      }\n");
         out.push_str(if i + 1 < runs.len() {
@@ -574,6 +607,55 @@ mod tests {
         );
     }
 
+    /// Schema v8: every app carries a `monitor` section with per-side
+    /// incident summaries; incident counts are exact-gated while the
+    /// open durations take the 100x band.
+    #[test]
+    fn monitor_section_is_present_and_gated() {
+        let ctx = ExperimentCtx { scale: 0.01 };
+        let doc = bench_json(&ctx, &linsolve_runs(), &[], None, None);
+        let baseline = json::parse(&doc).unwrap();
+        assert_eq!(
+            baseline.get("schema_version").unwrap().as_f64(),
+            Some(REPORT_SCHEMA_VERSION as f64)
+        );
+        let apps = match baseline.get("apps").unwrap() {
+            json::Json::Arr(a) => a,
+            other => panic!("apps not an array: {other:?}"),
+        };
+        let mon = apps[0].get("monitor").unwrap();
+        assert!(mon.get("window_s").unwrap().as_f64().unwrap() > 0.0);
+        for side in ["ic", "pic"] {
+            let m = mon.get(side).unwrap();
+            assert!(m.get("incidents").unwrap().as_f64().is_some());
+            assert!(m.get("incident_s").unwrap().as_f64().is_some());
+            let by_rule = m.get("by_rule").unwrap();
+            for rule in pic_simnet::monitor::CATALOG_RULES {
+                assert!(
+                    by_rule.get(rule).unwrap().as_f64().is_some(),
+                    "rule {rule} missing from by_rule"
+                );
+            }
+            assert_eq!(
+                m.get("faults").unwrap().as_f64(),
+                Some(0.0),
+                "no chaos: no faults"
+            );
+        }
+
+        // An incident-count drift is an exact-gated regression.
+        let key = r#""incidents": "#;
+        let start = doc.find(key).expect("incidents in json") + key.len();
+        let end = start + doc[start..].find(',').unwrap();
+        let n: u64 = doc[start..end].trim().parse().unwrap();
+        let drifted = format!("{}{}{}", &doc[..start], n + 1, &doc[end..]);
+        let diffs = json::diff(&baseline, &json::parse(&drifted).unwrap(), 1e-6);
+        assert!(
+            diffs.iter().any(|d| d.contains("incidents")),
+            "drifted incident count not flagged: {diffs:?}"
+        );
+    }
+
     /// The gate must also catch utilization drift: a perturbed
     /// `peak_util` beyond the band is flagged, and a perturbed byte
     /// total is exact-gated.
@@ -623,6 +705,8 @@ mod tests {
             recovery_bytes: 4096,
             injected_events: 1,
             tt_quality_delta_s: 5.0,
+            incidents: 2,
+            clean_incidents: 0,
             exact_result: true,
         };
         let doc = bench_json(&ctx, &linsolve_runs(), &[cell], None, None);

@@ -1,0 +1,280 @@
+//! The `pic watch` pipeline: replay recorded runs through the online
+//! monitor (DESIGN.md §16) and render the live dashboard plus the
+//! machine-readable exports — the full monitor JSON document, the
+//! incident-log CSV, and an OpenMetrics-style text snapshot for the
+//! five apps × ic/pic.
+//!
+//! Everything here is pure trace post-processing: the monitor's
+//! ingestion is order-insensitive and its series live on the simulated
+//! clock, so every artifact is byte-identical across rayon pool widths
+//! (pinned by `tests/cli_watch.rs`).
+
+use super::report::AppRun;
+use crate::table::csv_row;
+use pic_simnet::monitor::{self, openmetrics, AlertRule, DEFAULT_WINDOW_S};
+use pic_simnet::report::fmt_f64;
+use pic_simnet::{Monitor, MonitorConfig, MonitorReport};
+use std::fmt::Write as _;
+
+/// How `pic watch` replays a run — the parsed flag set.
+#[derive(Debug, Clone)]
+pub struct WatchOptions {
+    /// Sliding-window length, simulated seconds (`--window`).
+    pub window_s: f64,
+    /// Alert rules to evaluate (`--rules`, default the full catalog).
+    pub rules: Vec<AlertRule>,
+    /// Dashboard frame spacing, simulated seconds (`--interval`);
+    /// `0` renders only the final frame.
+    pub interval_s: f64,
+    /// Sparkline cells per series (`--width`).
+    pub width: usize,
+}
+
+impl Default for WatchOptions {
+    fn default() -> Self {
+        WatchOptions {
+            window_s: DEFAULT_WINDOW_S,
+            rules: monitor::default_rules(),
+            interval_s: 0.0,
+            width: 48,
+        }
+    }
+}
+
+/// One app's pair of monitor reports, IC vs PIC.
+#[derive(Debug)]
+pub struct WatchSection {
+    /// Application name.
+    pub app: &'static str,
+    /// Which paper experiment the configuration mirrors.
+    pub experiment: &'static str,
+    /// Monitor replay of the IC baseline trace.
+    pub ic: MonitorReport,
+    /// Monitor replay of the PIC trace.
+    pub pic: MonitorReport,
+}
+
+fn cfg_for(run: &AppRun, opts: &WatchOptions) -> MonitorConfig {
+    let mut cfg = MonitorConfig::new(run.spec.clone());
+    cfg.window_s = opts.window_s;
+    cfg.rules = opts.rules.clone();
+    cfg
+}
+
+/// Replay every collected run through the monitor with the given
+/// options. Errors carry the monitor's pinned validation messages.
+pub fn sections(runs: &[AppRun], opts: &WatchOptions) -> Result<Vec<WatchSection>, String> {
+    runs.iter()
+        .map(|run| {
+            let ic = Monitor::replay(cfg_for(run, opts), &run.ic_trace)?;
+            let pic = Monitor::replay(cfg_for(run, opts), &run.pic_trace)?;
+            Ok(WatchSection {
+                app: run.app,
+                experiment: run.experiment,
+                ic,
+                pic,
+            })
+        })
+        .collect()
+}
+
+/// Intermediate frames never flood the terminal: a tiny `--interval`
+/// against a long horizon strides up so at most this many frames print
+/// per side (the final full dashboard always follows).
+pub const MAX_FRAMES: usize = 24;
+
+/// Render one app's dashboard: optional intermediate frames every
+/// `interval_s` simulated seconds, then the final panel per side.
+pub fn render_section(s: &WatchSection, opts: &WatchOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== {} ({}) — online monitor, window {} s ===",
+        s.app,
+        s.experiment,
+        fmt_f64(opts.window_s)
+    );
+    for (side, r) in [("ic", &s.ic), ("pic", &s.pic)] {
+        let _ = writeln!(out, "\n--- {side} ---");
+        if opts.interval_s > 0.0 && r.horizon_s > 0.0 {
+            let frames = (r.horizon_s / opts.interval_s).ceil() as usize;
+            let stride = frames.div_ceil(MAX_FRAMES).max(1);
+            let mut k = stride;
+            while (k as f64) * opts.interval_s < r.horizon_s {
+                let _ = write!(
+                    out,
+                    "{}",
+                    r.render_at(k as f64 * opts.interval_s, opts.width)
+                );
+                k += stride;
+            }
+        }
+        let _ = write!(out, "{}", r.render(opts.width));
+    }
+    out
+}
+
+/// The `pic watch --json` document: suite header, the rule set in
+/// force, and the full monitor report (every series, waves, incident
+/// log) per app and side.
+pub fn watch_json(scale: f64, opts: &WatchOptions, sections: &[WatchSection]) -> String {
+    let rules: Vec<String> = opts
+        .rules
+        .iter()
+        .map(|r| format!("\"{}\"", r.name))
+        .collect();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"suite\": \"pic-watch\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", fmt_f64(scale)));
+    out.push_str(&format!("  \"window_s\": {},\n", fmt_f64(opts.window_s)));
+    out.push_str(&format!("  \"rules\": [{}],\n", rules.join(", ")));
+    out.push_str("  \"apps\": [\n");
+    for (i, s) in sections.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"app\": \"{}\",\n", s.app));
+        out.push_str(&format!("      \"experiment\": \"{}\",\n", s.experiment));
+        out.push_str("      \"ic\": ");
+        out.push_str(s.ic.to_json(6).trim_start());
+        out.push_str(",\n");
+        out.push_str("      \"pic\": ");
+        out.push_str(s.pic.to_json(6).trim_start());
+        out.push('\n');
+        out.push_str(if i + 1 == sections.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// The incident log as CSV, one record per incident across every app
+/// and side (the CI artifact).
+pub fn watch_csv(sections: &[WatchSection]) -> String {
+    let mut doc = String::from(MonitorReport::csv_header());
+    doc.push('\n');
+    for s in sections {
+        for (side, r) in [("ic", &s.ic), ("pic", &s.pic)] {
+            for rec in r.csv_records(s.app, side) {
+                doc.push_str(&csv_row(&rec));
+                doc.push('\n');
+            }
+        }
+    }
+    doc
+}
+
+/// The OpenMetrics-style text snapshot: every report labelled by
+/// `app`/`side`, families grouped, ending with `# EOF`.
+pub fn watch_metrics(sections: &[WatchSection]) -> String {
+    let labelled: Vec<(Vec<(String, String)>, &MonitorReport)> = sections
+        .iter()
+        .flat_map(|s| {
+            [("ic", &s.ic), ("pic", &s.pic)].map(|(side, r)| {
+                (
+                    vec![
+                        ("app".to_string(), s.app.to_string()),
+                        ("side".to_string(), side.to_string()),
+                    ],
+                    r,
+                )
+            })
+        })
+        .collect();
+    openmetrics(&labelled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{report as perf, ExperimentCtx};
+
+    fn small_sections(opts: &WatchOptions) -> Vec<WatchSection> {
+        let ctx = ExperimentCtx { scale: 0.01 };
+        let runs = perf::collect(&ctx, &["linsolve"]).unwrap();
+        sections(&runs, opts).unwrap()
+    }
+
+    #[test]
+    fn watch_renders_dashboard_frames_and_exports() {
+        let opts = WatchOptions::default();
+        let secs = small_sections(&opts);
+        assert_eq!(secs.len(), 1);
+        let s = &secs[0];
+
+        // Final dashboard per side, with every series row present.
+        let text = render_section(s, &opts);
+        assert!(text.contains("=== linsolve"), "{text}");
+        assert!(text.contains("--- ic ---") && text.contains("--- pic ---"));
+        for row in [
+            "util:disk",
+            "util:nic",
+            "util:rack-uplink",
+            "util:bisection",
+            "quality-rate",
+            "queue-depth",
+            "recovery-rate",
+        ] {
+            assert!(text.contains(row), "'{row}' missing from:\n{text}");
+        }
+
+        // Intermediate frames appear once an interval is requested, and
+        // the stride caps them at MAX_FRAMES per side.
+        let framed = WatchOptions {
+            interval_s: s.ic.horizon_s / 4.0,
+            ..WatchOptions::default()
+        };
+        let text = render_section(s, &framed);
+        let frames = text.matches("  t = ").count();
+        assert!(frames >= 2, "expected intermediate frames:\n{text}");
+        let tiny = WatchOptions {
+            interval_s: s.ic.horizon_s / 10_000.0,
+            ..WatchOptions::default()
+        };
+        let text = render_section(s, &tiny);
+        assert!(
+            text.matches("  t = ").count() <= 2 * MAX_FRAMES,
+            "frame cap breached"
+        );
+
+        // JSON carries the suite header, the rule set and both sides.
+        let doc = watch_json(0.01, &opts, &secs);
+        assert!(doc.starts_with("{\n  \"suite\": \"pic-watch\",\n"));
+        assert!(
+            doc.contains("\"rules\": [\"stall\", \"divergence\""),
+            "{doc}"
+        );
+        assert!(doc.contains("\"ic\": {") && doc.contains("\"pic\": {"));
+        pic_bench_json_parses(&doc);
+
+        // CSV header is the pinned incident schema; metrics end in EOF.
+        let csv = watch_csv(&secs);
+        assert!(csv.starts_with("app,side,rule,severity,series,open_s,close_s,peak,span\n"));
+        let metrics = watch_metrics(&secs);
+        assert!(metrics.ends_with("# EOF\n"));
+        assert!(
+            metrics.contains("app=\"linsolve\",side=\"pic\""),
+            "{metrics}"
+        );
+    }
+
+    fn pic_bench_json_parses(doc: &str) {
+        crate::json::parse(doc).expect("watch --json must be valid JSON");
+    }
+
+    #[test]
+    fn frame_view_matches_the_final_dashboard_at_the_horizon() {
+        let opts = WatchOptions::default();
+        let secs = small_sections(&opts);
+        let r = &secs[0].pic;
+        // Beyond the horizon every series is fully visible, so the frame
+        // rows equal the final dashboard rows exactly.
+        assert_eq!(r.rows_at(r.horizon_s + 1.0, 32), r.dashboard_rows(32));
+        // An early frame shows no more buckets than the full view.
+        let early = r.rows_at(r.horizon_s / 3.0, 32);
+        assert_eq!(early.len(), r.dashboard_rows(32).len());
+    }
+}

@@ -256,11 +256,15 @@ fn is_toleranced(key: &str) -> bool {
 /// either total is amplified in them; DESIGN.md §12 gives these keys a
 /// 100x-wider band. The counterfactual `sensitivity` deltas (schema v7,
 /// DESIGN.md §15) are the same shape — a projected duration minus a
-/// recorded one — so they share it. Everything else keeps the base
-/// epsilon.
+/// recorded one — so they share it. The monitor's incident durations
+/// (schema v8, DESIGN.md §16) are differences between an alert's open
+/// and close thresholds crossing, equally jitter-amplified, so they
+/// take the wide band too — while incident *counts* stay exact.
+/// Everything else keeps the base epsilon.
 fn band_multiplier(key: &str) -> f64 {
     match key {
         "recovery_s" | "tt_quality_delta_s" | "delta_makespan_s" => 100.0,
+        "incident_s" | "longest_incident_s" => 100.0,
         k if k.starts_with("delta_tt_") && k.ends_with("pct_s") => 100.0,
         _ => 1.0,
     }
@@ -463,6 +467,28 @@ mod tests {
         let d = diff(&a, &wild, 1e-9);
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].contains("$.delta_makespan_s"), "{d:?}");
+    }
+
+    #[test]
+    fn monitor_incident_durations_get_the_wider_band_but_counts_stay_exact() {
+        // Incident open durations are threshold-crossing differences
+        // (schema v8); they share the 100x band. Counts are integers
+        // under the exact gate.
+        for key in ["incident_s", "longest_incident_s"] {
+            assert!(is_toleranced(key), "{key} must be banded");
+            assert_eq!(band_multiplier(key), 100.0, "{key} gets the wide band");
+        }
+        let a = obj(r#"{"incidents": 3, "incident_s": 12.0, "longest_incident_s": 7.0}"#);
+        let mild = obj(r#"{"incidents": 3, "incident_s": 12.0000006, "longest_incident_s": 7.0}"#);
+        assert!(diff(&a, &mild, 1e-9).is_empty(), "inside the 100x band");
+        let wild = obj(r#"{"incidents": 3, "incident_s": 12.1, "longest_incident_s": 7.0}"#);
+        let d = diff(&a, &wild, 1e-9);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("$.incident_s"), "{d:?}");
+        let count = obj(r#"{"incidents": 4, "incident_s": 12.0, "longest_incident_s": 7.0}"#);
+        let d = diff(&a, &count, 1e-9);
+        assert_eq!(d.len(), 1, "incident count drift is exact-gated: {d:?}");
+        assert!(d[0].contains("$.incidents"), "{d:?}");
     }
 
     /// The Chrome trace export (spans, instants, counter tracks,

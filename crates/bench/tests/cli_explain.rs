@@ -22,9 +22,11 @@ fn unknown_subcommand_lists_every_subcommand() {
         first,
         "error: unknown app or subcommand 'explian'; valid apps: kmeans, \
          pagerank, neuralnet, linsolve, smoothing; valid subcommands: \
-         report, timeline, chaos, tenancy, diff, explain"
+         report, timeline, chaos, tenancy, diff, explain, watch, help"
     );
-    for sub in ["report", "timeline", "chaos", "tenancy", "diff", "explain"] {
+    for sub in [
+        "report", "timeline", "chaos", "tenancy", "diff", "explain", "watch", "help",
+    ] {
         assert!(first.contains(sub), "'{sub}' missing from: {first}");
     }
 }

@@ -35,6 +35,13 @@
 //!   timers over the engine/DFS/event-queue/driver hot paths with a
 //!   zero-cost disabled path, feeding the `BENCH_host.csv` trend gate
 //!   and `pic diff` host-stage attribution ([`HostProfile`]).
+//! * [`monitor`] — online run monitoring: a streaming [`Monitor`]
+//!   subscribing to span/instant events as they are recorded (the
+//!   [`TraceSink`] hook on [`Tracer`], one atomic load when detached),
+//!   sliding-window series on the simulated clock, a declarative
+//!   [`AlertRule`] catalog, and an incident log whose window integrals
+//!   reconcile exactly with the [`TrafficLedger`] (the `pic watch`
+//!   subcommand and the BENCH `monitor` section).
 //! * [`whatif`] — counterfactual projection over recorded traces:
 //!   declarative scenario edits (scale a link, zero a traffic class,
 //!   drop stragglers, instant merge) replayed as time warps over the
@@ -57,6 +64,7 @@ pub mod chaos;
 pub mod clock;
 pub mod event;
 pub mod hostprof;
+pub mod monitor;
 pub mod report;
 pub mod scheduler;
 pub mod tenancy;
@@ -70,6 +78,7 @@ pub mod whatif;
 pub use chaos::{ChaosInjector, FaultEvent, FaultPlan};
 pub use clock::SimClock;
 pub use hostprof::{HostProfile, Stage, StageProfile};
+pub use monitor::{AlertRule, Incident, Monitor, MonitorConfig, MonitorReport, RuleKind, Severity};
 pub use report::{
     CriticalPath, CriticalSegment, IterationRollup, PerfReport, QualityPoint, QualityReport,
     TenancyReport, TenancyRow,
@@ -81,6 +90,6 @@ pub use tenancy::{
 };
 pub use timeline::{LinkClass, LinkSeries, Saturation, SlotSeries, UtilizationReport};
 pub use topology::{ClusterSpec, NodeId, RackId};
-pub use trace::{CounterTrack, MetricsRegistry, Payload, Trace, Tracer};
+pub use trace::{CounterTrack, MetricsRegistry, Payload, Trace, TraceSink, Tracer};
 pub use traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};
 pub use whatif::{Edit, Projection, Scenario, SensitivityReport, TimeWarp, WhatIf};

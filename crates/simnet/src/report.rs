@@ -41,8 +41,11 @@ use std::fmt::Write as _;
 /// [`crate::hostprof`], skipped by the differ like every `host_` key
 /// (DESIGN.md §14); version 7 added the per-app `sensitivity` section —
 /// the ranked counterfactual bottleneck table from [`crate::whatif`]
-/// (DESIGN.md §15).
-pub const REPORT_SCHEMA_VERSION: u64 = 7;
+/// (DESIGN.md §15); version 8 added the per-app `monitor` section —
+/// online incident counts (exact) and open durations (100× recovery
+/// band) from [`crate::monitor`], plus per-cell `incidents` /
+/// `clean_incidents` in `quality_under_failure` (DESIGN.md §16).
+pub const REPORT_SCHEMA_VERSION: u64 = 8;
 
 /// Span categories that mark one driver-level iteration; traffic is
 /// attributed to the nearest enclosing span with one of these cats.
@@ -1606,7 +1609,7 @@ mod tests {
         assert_eq!(a, b, "rendering twice must be identical");
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
-        assert!(a.contains("\"schema_version\": 7"));
+        assert!(a.contains("\"schema_version\": 8"));
         assert!(a.contains("\"total_s\": 10"));
         assert!(a.contains("\"phase/a\""));
         assert!(

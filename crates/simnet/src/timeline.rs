@@ -253,8 +253,10 @@ pub fn collect_charges(trace: &Trace) -> (Vec<Charge>, f64) {
 /// Spread `bytes` over `[w0, w1]` on the grid by cumulative rounding:
 /// interval `i` receives `round(B·F(i)) − round(B·F(i−1))` where `F` is
 /// the fraction of the window covered up to the interval's right edge —
-/// shares are non-negative and sum to exactly `B`.
-fn apportion(series: &mut [u64], charge: &Charge, dt: f64) {
+/// shares are non-negative and sum to exactly `B`. Shared with
+/// [`crate::monitor`], whose bucket integrals inherit the same exactness
+/// guarantee.
+pub(crate) fn apportion(series: &mut [u64], charge: &Charge, dt: f64) {
     let n = series.len();
     if n == 0 || charge.bytes == 0 {
         return;
@@ -670,8 +672,9 @@ impl UtilizationReport {
 }
 
 /// Render a `[0, 1]` series as `width` heat cells (values above 1 clip
-/// to the darkest cell).
-fn heat_bar(series: &[f64], width: usize) -> String {
+/// to the darkest cell). Shared with the [`crate::monitor`] dashboard
+/// sparklines so `pic timeline` and `pic watch` read the same way.
+pub(crate) fn heat_bar(series: &[f64], width: usize) -> String {
     const RAMP: [char; 9] = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
     if series.is_empty() || width == 0 {
         return String::new();

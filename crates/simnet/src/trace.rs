@@ -35,6 +35,7 @@ use crate::traffic::{TrafficClass, TrafficSnapshot};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Identifier of a recorded span, unique within one [`Tracer`] epoch
@@ -111,6 +112,12 @@ pub struct InstantEvent {
     pub lane: String,
     /// Timestamp, simulated seconds.
     pub t: f64,
+    /// Recording index within the tracer — the deterministic tiebreak
+    /// for instants stamped at identical simulated times. Consumers
+    /// that sort instants by time (the monitor replay, `pic watch`)
+    /// order by `(t, seq)` so their output does not depend on `Vec`
+    /// iteration accidents.
+    pub seq: u64,
     /// Attached arguments.
     pub args: Args,
 }
@@ -177,10 +184,38 @@ struct State {
     stack: Vec<SpanId>,
 }
 
-#[derive(Debug)]
+/// A streaming observer of trace events, attached to a [`Tracer`] with
+/// [`Tracer::attach_sink`]. The tracer forwards every instant as it is
+/// recorded and every span as it *closes* (so args attached at record
+/// time ride along); snapshot-only closes in [`Tracer::trace`] are not
+/// forwarded. Implementations use interior mutability — the tracer
+/// calls through a shared reference while holding its state lock, so
+/// sink callbacks must not call back into the tracer.
+pub trait TraceSink: Send + Sync {
+    /// A span just closed (its `t1` is final).
+    fn on_span(&self, span: &Span);
+    /// An instant event was just recorded.
+    fn on_instant(&self, event: &InstantEvent);
+}
+
 struct Shared {
     clock: Arc<Mutex<SimClock>>,
     state: Mutex<State>,
+    /// One relaxed load on every record path decides whether to forward
+    /// to the sink — the same zero-cost discipline as
+    /// [`crate::hostprof`]: with no sink attached the entire monitor
+    /// machinery costs a single atomic load.
+    sink_on: AtomicBool,
+    sink: Mutex<Option<Arc<dyn TraceSink>>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("state", &self.state)
+            .field("sink_on", &self.sink_on)
+            .finish_non_exhaustive()
+    }
 }
 
 /// A cloneable handle recording spans and events against a shared
@@ -199,7 +234,44 @@ impl Tracer {
             inner: Some(Arc::new(Shared {
                 clock,
                 state: Mutex::new(State::default()),
+                sink_on: AtomicBool::new(false),
+                sink: Mutex::new(None),
             })),
+        }
+    }
+
+    /// Attach a streaming [`TraceSink`]: from now on every recorded
+    /// instant and every span *close* is forwarded to `sink` as it
+    /// happens. At most one sink is attached at a time (a second attach
+    /// replaces the first). No-op on a disabled tracer.
+    pub fn attach_sink(&self, sink: Arc<dyn TraceSink>) {
+        let Some(sh) = &self.inner else { return };
+        *sh.sink.lock() = Some(sink);
+        sh.sink_on.store(true, Ordering::Release);
+    }
+
+    /// Detach the current sink, if any, and stop forwarding. Record
+    /// paths go back to paying exactly one relaxed atomic load.
+    pub fn detach_sink(&self) -> Option<Arc<dyn TraceSink>> {
+        let sh = self.inner.as_ref()?;
+        sh.sink_on.store(false, Ordering::Release);
+        sh.sink.lock().take()
+    }
+
+    /// Forward a just-closed span to the attached sink (cold: only
+    /// reached when the one-atomic-load gate says a sink is attached).
+    #[cold]
+    fn forward_span(sh: &Shared, span: &Span) {
+        if let Some(sink) = sh.sink.lock().as_ref() {
+            sink.on_span(span);
+        }
+    }
+
+    /// Forward a just-recorded instant to the attached sink (cold).
+    #[cold]
+    fn forward_instant(sh: &Shared, event: &InstantEvent) {
+        if let Some(sink) = sh.sink.lock().as_ref() {
+            sink.on_instant(event);
         }
     }
 
@@ -285,10 +357,14 @@ impl Tracer {
             return;
         };
         let closing: Vec<SpanId> = st.stack.split_off(pos);
+        let forward = sh.sink_on.load(Ordering::Relaxed);
         for sid in closing {
             let span = &mut st.spans[sid.index()];
             if span.t1.is_nan() {
                 span.t1 = t1;
+                if forward {
+                    Self::forward_span(sh, &st.spans[sid.index()]);
+                }
             }
         }
     }
@@ -342,6 +418,10 @@ impl Tracer {
             t1,
             args,
         });
+        // Recorded completed: the span closes the moment it is pushed.
+        if sh.sink_on.load(Ordering::Relaxed) {
+            Self::forward_span(sh, &st.spans[id.index()]);
+        }
         id
     }
 
@@ -373,14 +453,19 @@ impl Tracer {
         let Some(sh) = &self.inner else { return };
         let mut st = sh.state.lock();
         let parent = st.stack.last().copied();
+        let seq = st.instants.len() as u64;
         st.instants.push(InstantEvent {
             parent,
             name: name.into(),
             cat,
             lane: lane.to_string(),
             t,
+            seq,
             args,
         });
+        if sh.sink_on.load(Ordering::Relaxed) {
+            Self::forward_instant(sh, st.instants.last().expect("just pushed"));
+        }
     }
 
     /// Record one ledger charge: an instant named after the traffic
@@ -905,10 +990,24 @@ pub mod check {
             .sum()
     }
 
+    /// The monitor's sliding-window series reconcile **exactly** with
+    /// the ledger: replaying the trace through a telemetry-only
+    /// [`crate::monitor::Monitor`] yields per-link window integrals
+    /// equal to the summed ledger totals of each link's traffic
+    /// classes, and a recovery series integrating to
+    /// `recovery_total()`. Capacities do not affect byte sums, so any
+    /// spec works; the small preset is used.
+    pub fn monitor_reconciles(trace: &Trace, ledger: &TrafficSnapshot) -> Result<(), Vec<String>> {
+        let cfg = crate::monitor::MonitorConfig::telemetry(crate::topology::ClusterSpec::small());
+        let report = crate::monitor::Monitor::replay(cfg, trace).map_err(|e| vec![e])?;
+        report.reconcile(ledger)
+    }
+
     /// Run the whole structural suite: nesting, slot non-overlap, exact
-    /// byte attribution against `ledger`, quality-sample placement, and
-    /// the chaos checks (crash clear of merge barriers, degradation
-    /// windows inside the run).
+    /// byte attribution against `ledger`, quality-sample placement, the
+    /// chaos checks (crash clear of merge barriers, degradation
+    /// windows inside the run), and the monitor window-integral
+    /// reconciliation.
     pub fn validate(trace: &Trace, ledger: &TrafficSnapshot) -> Result<(), Vec<String>> {
         let mut errs = Vec::new();
         for r in [
@@ -917,6 +1016,7 @@ pub mod check {
             bytes_attributed(trace, ledger),
             quality_samples(trace),
             crate::chaos::check_chaos(trace),
+            monitor_reconciles(trace, ledger),
         ] {
             if let Err(mut e) = r {
                 errs.append(&mut e);
@@ -963,6 +1063,82 @@ mod tests {
         assert!(tr.spans.is_empty());
         assert!(tr.instants.is_empty());
         assert_eq!(tr.traffic_totals(), TrafficSnapshot::default());
+        // Sink attachment is equally inert on a disabled tracer.
+        let sink = Arc::new(CountingSink::default());
+        t.attach_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        t.instant("e", "sched", Vec::new());
+        t.span_at("s", "phase", 0.0, 1.0, Vec::new());
+        assert!(t.detach_sink().is_none(), "disabled tracer holds no sink");
+        assert_eq!(sink.spans.load(AtomicOrdering::Relaxed), 0);
+        assert_eq!(sink.instants.load(AtomicOrdering::Relaxed), 0);
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+
+    #[derive(Default)]
+    struct CountingSink {
+        spans: AtomicUsize,
+        instants: AtomicUsize,
+    }
+
+    impl TraceSink for CountingSink {
+        fn on_span(&self, _span: &Span) {
+            self.spans.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        fn on_instant(&self, _event: &InstantEvent) {
+            self.instants.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_instant_and_span_close() {
+        let (t, clock) = tracer();
+        let sink = Arc::new(CountingSink::default());
+        t.attach_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        let outer = t.begin("outer", "job");
+        t.instant("tick", "sched", Vec::new());
+        // A begin does not forward; the close does.
+        assert_eq!(sink.spans.load(AtomicOrdering::Relaxed), 0);
+        t.span_at_in("lane", "done", "task", 0.0, 0.5, Vec::new());
+        assert_eq!(
+            sink.spans.load(AtomicOrdering::Relaxed),
+            1,
+            "completed spans forward on push"
+        );
+        clock.lock().advance(1.0);
+        t.end(outer);
+        assert_eq!(sink.spans.load(AtomicOrdering::Relaxed), 2);
+        assert_eq!(sink.instants.load(AtomicOrdering::Relaxed), 1);
+        // Snapshot-only closes in trace() are NOT forwarded.
+        let open = t.begin("open", "job");
+        let _ = t.trace();
+        assert_eq!(sink.spans.load(AtomicOrdering::Relaxed), 2);
+        // After detaching, nothing is forwarded.
+        let detached = t.detach_sink().expect("sink was attached");
+        assert_eq!(
+            Arc::as_ptr(&detached) as *const (),
+            Arc::as_ptr(&sink) as *const ()
+        );
+        t.end(open);
+        t.instant("tock", "sched", Vec::new());
+        assert_eq!(sink.spans.load(AtomicOrdering::Relaxed), 2);
+        assert_eq!(sink.instants.load(AtomicOrdering::Relaxed), 1);
+    }
+
+    #[test]
+    fn instants_carry_a_deterministic_sequence_tiebreak() {
+        let (t, _clock) = tracer();
+        // Three instants at the identical timestamp: seq is the
+        // recording index, so (t, seq) is a total order.
+        for name in ["a", "b", "c"] {
+            t.instant_at(name, "sched", 1.0, Vec::new());
+        }
+        let tr = t.trace();
+        let seqs: Vec<u64> = tr.instants.iter().map(|i| i.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        t.clear();
+        t.instant("fresh", "sched", Vec::new());
+        assert_eq!(t.trace().instants[0].seq, 0, "clear() resets the sequence");
     }
 
     #[test]
